@@ -1,0 +1,8 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the reproduced tables and ASCII figures.)
+"""

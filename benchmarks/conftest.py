@@ -1,0 +1,87 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables, figures, or equation
+families: it prints the reproduced artefact (run pytest with ``-s`` to see
+the tables) and asserts the paper's *shape* — fitted growth exponents for the
+analytic curves exactly, simulated curves within a statistical tolerance.
+
+Calibrated simulation regimes (chosen so rare events are measurable on a
+laptop in seconds; see EXPERIMENTS.md for the regime discussion):
+
+* ``EAGER_REGIME`` — moderate contention; eager deadlock growth is cleanly
+  super-quadratic (analytic: cubic; the closed-system simulation adds the
+  time-dilation the model explicitly ignores, steepening it slightly).
+* ``MASTER_REGIME`` — high contention so lazy-master deadlocks (a rare^2
+  event at N^2 rate) actually occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import pytest
+
+from repro.analytic import ModelParameters
+from repro.analytic.scaling import fit_exponent
+from repro.harness import ExperimentConfig, run_experiment
+
+EAGER_REGIME = ModelParameters(db_size=80, nodes=1, tps=4, actions=3,
+                               action_time=0.01)
+MASTER_REGIME = ModelParameters(db_size=30, nodes=1, tps=6, actions=3,
+                                action_time=0.01)
+ANALYTIC_REGIME = ModelParameters(db_size=10_000, nodes=1, tps=10, actions=5,
+                                  action_time=0.01)
+
+NODE_SWEEP = [2, 3, 4, 6]
+
+
+def measure_sweep(
+    strategy: str,
+    base: ModelParameters,
+    nodes_values: Sequence[int],
+    metric: Callable,
+    duration: float,
+    seed: int = 1,
+    **config_kwargs,
+) -> List[float]:
+    """Simulated rates of ``metric`` along a node sweep."""
+    rates = []
+    for nodes in nodes_values:
+        result = run_experiment(
+            ExperimentConfig(
+                strategy=strategy,
+                params=base.with_(nodes=nodes),
+                duration=duration,
+                seed=seed,
+                **config_kwargs,
+            )
+        )
+        rates.append(metric(result))
+    return rates
+
+
+def assert_exponent(xs, ys, expected: float, tolerance: float,
+                    label: str = "") -> float:
+    """Fit and check a growth exponent; returns the fitted value."""
+    fitted = fit_exponent(xs, ys)
+    assert abs(fitted - expected) <= tolerance, (
+        f"{label}: fitted exponent {fitted:.2f} not within {tolerance} of "
+        f"{expected} (series {list(zip(xs, ys))})"
+    )
+    return fitted
+
+
+@pytest.fixture()
+def eager_regime() -> ModelParameters:
+    return EAGER_REGIME
+
+
+@pytest.fixture()
+def master_regime() -> ModelParameters:
+    return MASTER_REGIME
+
+
+@pytest.fixture()
+def analytic_regime() -> ModelParameters:
+    return ANALYTIC_REGIME

@@ -1,0 +1,72 @@
+"""Ablation — message propagation delay (ignored by the analytic model).
+
+"If message delays were added to the model, then each transaction would last
+much longer, would hold resources much longer, and so would be more likely
+to collide with other transactions."  (section 3)
+
+"As with eager replication, if message propagation times were added, the
+reconciliation rate would rise."  (section 4)
+
+Measured: the same lazy-group workload with increasing ``Message_Delay`` —
+the reconciliation rate rises monotonically with the delay window; and the
+same lazy-master workload with an RPC delay — transactions last longer and
+wait more.
+"""
+
+import pytest
+
+from repro.analytic import ModelParameters
+from repro.harness import ExperimentConfig, run_experiment
+from repro.metrics.report import format_table
+
+DELAYS = [0.0, 0.05, 0.2, 0.5]
+PARAMS = ModelParameters(db_size=80, nodes=4, tps=4, actions=3,
+                         action_time=0.01)
+DURATION = 150.0
+
+
+def simulate():
+    lazy_rows = []
+    for delay in DELAYS:
+        result = run_experiment(
+            ExperimentConfig(strategy="lazy-group",
+                             params=PARAMS.with_(message_delay=delay),
+                             duration=DURATION, seed=1)
+        )
+        lazy_rows.append((delay, result.rates.reconciliation_rate))
+
+    master_rows = []
+    for delay in [0.0, 0.05, 0.2]:
+        result = run_experiment(
+            ExperimentConfig(strategy="lazy-master",
+                             params=PARAMS.with_(message_delay=delay),
+                             duration=DURATION, seed=1)
+        )
+        master_rows.append((delay, result.rates.wait_rate,
+                            result.metrics.commits))
+    return lazy_rows, master_rows
+
+
+def test_bench_message_delay(benchmark):
+    lazy_rows, master_rows = benchmark.pedantic(simulate, rounds=1,
+                                                iterations=1)
+    print()
+    print(format_table(
+        ["message delay (s)", "lazy-group reconciliations/s"],
+        lazy_rows,
+        title="Message delay ablation: lazy-group reconciliation",
+    ))
+    print(format_table(
+        ["RPC delay (s)", "lazy-master waits/s", "commits"],
+        master_rows,
+        title="Message delay ablation: lazy-master (RPC to owners)",
+    ))
+
+    # reconciliation rate rises monotonically with the delay window
+    rates = [rate for _, rate in lazy_rows]
+    assert all(later >= earlier for earlier, later in zip(rates, rates[1:]))
+    assert rates[-1] > 3 * max(rates[0], 1e-9)
+
+    # lazy-master transactions hold locks across the RPC and wait more
+    waits = [w for _, w, _ in master_rows]
+    assert waits[-1] > waits[0]

@@ -1,0 +1,81 @@
+"""Ablation — quorum availability (section 3's high-availability variant).
+
+"For high availability, eager replication systems allow updates among
+members of the quorum or cluster [Gifford]."
+
+Measured: write availability of majority quorums versus read-one-write-all
+across node counts and node reliabilities (the Gifford vote arithmetic), and
+the throughput effect of quorum mode when a replica is dark.
+"""
+
+import pytest
+
+from repro.metrics.report import format_table
+from repro.replication.eager_group import EagerGroupSystem
+from repro.replication.quorum import QuorumConfig
+from repro.txn.ops import IncrementOp
+
+
+def availability_table():
+    rows = []
+    for n in [3, 5, 7]:
+        majority = QuorumConfig.majority(n)
+        rowa = QuorumConfig.read_one_write_all(n)
+        for p in [0.9, 0.99]:
+            rows.append(
+                (n, p, majority.write_availability(p),
+                 rowa.write_availability(p), rowa.read_availability(p))
+            )
+    return rows
+
+
+def throughput_with_dark_replica(quorum: bool):
+    system = EagerGroupSystem(num_nodes=3, db_size=20, action_time=0.001,
+                              quorum=quorum, seed=0)
+    system.network.disconnect(2)
+    for i in range(50):
+        system.submit(i % 2, [IncrementOp(i % 20, 1)])
+    system.run()
+    committed = system.metrics.commits
+    # let the dark replica catch up and check convergence
+    system.network.reconnect(2)
+    system.run()
+    return committed, system.converged()
+
+
+def simulate():
+    return (availability_table(),
+            throughput_with_dark_replica(False),
+            throughput_with_dark_replica(True))
+
+
+def test_bench_quorum(benchmark):
+    table, without_quorum, with_quorum = benchmark.pedantic(
+        simulate, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["replicas", "node up-prob", "majority write avail",
+         "ROWA write avail", "ROWA read avail"],
+        table,
+        title="Ablation: Gifford quorum availability",
+    ))
+    print(format_table(
+        ["mode", "commits with 1 of 3 replicas dark", "converged after rejoin"],
+        [
+            ("no quorum", *without_quorum),
+            ("majority quorum", *with_quorum),
+        ],
+        title="Quorum mode under a dark replica",
+    ))
+
+    # majority quorums strictly beat write-all availability
+    for n, p, majority, rowa_w, rowa_r in table:
+        assert majority > rowa_w
+        assert rowa_r > majority  # reading any single replica is easiest
+
+    # a dark replica halts a non-quorum eager system entirely
+    assert without_quorum[0] == 0
+    # quorum mode commits everything and converges after catch-up
+    assert with_quorum[0] == 50
+    assert with_quorum[1]

@@ -1,0 +1,78 @@
+"""Extension — the acceptance-criteria spectrum (section 7).
+
+"If the acceptance criteria requires the base and tentative transaction
+have identical outputs, then subsequent transactions reading tentative
+results written by T will fail too.  On the other hand, weaker acceptance
+criteria are possible."
+
+The same disconnected increment workload replayed under criteria of
+decreasing strictness: the rejection rate falls monotonically from the
+"probably too pessimistic" identical-outputs test down to always-accept
+(the fully-commutative design point) — while the master tier never diverges
+under any of them.
+"""
+
+import pytest
+
+from repro.analytic import ModelParameters
+from repro.core.acceptance import (
+    AlwaysAccept,
+    IdenticalOutputs,
+    NonNegativeOutputs,
+    WithinTolerance,
+)
+from repro.harness import ExperimentConfig, run_experiment
+from repro.metrics.report import format_table
+
+PARAMS = ModelParameters(db_size=30, nodes=3, tps=2, actions=2,
+                         action_time=0.001, disconnect_time=4.0)
+DURATION = 60.0
+
+CRITERIA = [
+    ("identical-outputs (strictest)", IdenticalOutputs()),
+    ("within 5% tolerance", WithinTolerance(0.05)),
+    ("within 50% tolerance", WithinTolerance(0.50)),
+    ("non-negative only", NonNegativeOutputs()),
+    ("always-accept (commutative design)", AlwaysAccept()),
+]
+
+
+def simulate():
+    rows = []
+    for name, criterion in CRITERIA:
+        result = run_experiment(
+            ExperimentConfig(strategy="two-tier", params=PARAMS,
+                             duration=DURATION, seed=3,
+                             acceptance=criterion)
+        )
+        total = (result.metrics.tentative_accepted
+                 + result.metrics.tentative_rejected)
+        rows.append((
+            name,
+            result.metrics.tentative_rejected,
+            total,
+            result.extra["base_divergence"],
+        ))
+    return rows
+
+
+def test_bench_acceptance_criteria(benchmark):
+    rows = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["acceptance criterion", "rejected", "replayed", "base diverged"],
+        rows,
+        title="Acceptance-criteria spectrum on identical mobile workloads",
+    ))
+
+    rejects = [row[1] for row in rows]
+    # identical workloads: same number of replays everywhere
+    assert len({row[2] for row in rows}) == 1
+    # strictness ordering: each weaker criterion rejects no more
+    for stricter, weaker in zip(rejects, rejects[1:]):
+        assert weaker <= stricter
+    # the endpoints of the spectrum
+    assert rejects[0] > 0  # identical-outputs rejects under interference
+    assert rejects[-1] == 0  # always-accept never does
+    # the master database is immune to the choice
+    assert all(row[3] == 0 for row in rows)

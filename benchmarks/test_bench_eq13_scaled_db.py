@@ -1,0 +1,93 @@
+"""Equation 13 — scaling the database with the node count.
+
+"Now a ten-fold growth in the number of nodes creates only a ten-fold growth
+in the deadlock rate. This is still an unstable situation, but it is a big
+improvement over equation (12)."
+
+Analytic check: the deadlock exponent drops from 3 to exactly 1.  Simulated
+check (averaged over seeds, since dilute deadlocks are rare events): the
+same eager sweep with DB_Size proportional to Nodes is dramatically flatter
+than the fixed-DB sweep, and the wait-rate exponents — the statistically
+robust signal behind the deadlock rates (deadlocks ~ waits^2) — drop from
+cubic to quadratic exactly as substituting DB := DB x N into equation 10
+predicts.
+"""
+
+import pytest
+
+from repro.analytic import ModelParameters, eager
+from repro.analytic.scaling import amplification, fit_exponent, sweep
+from repro.harness import ExperimentConfig, run_experiment
+from repro.metrics.report import format_table
+
+ANALYTIC = ModelParameters(db_size=10_000, nodes=1, tps=10, actions=5,
+                           action_time=0.01)
+REGIME = ModelParameters(db_size=40, nodes=1, tps=6, actions=3,
+                         action_time=0.01)
+NODES = [2, 3, 4, 6]
+SEEDS = 3
+DURATION = 200.0
+
+
+def run_pair():
+    out = {}
+    for label, scale_db in [("fixed", False), ("scaled", True)]:
+        deadlock_rates, wait_rates = [], []
+        for nodes in NODES:
+            db = REGIME.db_size * (nodes if scale_db else 1)
+            deadlocks = waits = 0
+            for seed in range(SEEDS):
+                params = REGIME.with_(nodes=nodes, db_size=db)
+                result = run_experiment(
+                    ExperimentConfig(strategy="eager-group", params=params,
+                                     duration=DURATION, seed=seed)
+                )
+                deadlocks += result.metrics.deadlocks
+                waits += result.metrics.waits
+            deadlock_rates.append(deadlocks / (SEEDS * DURATION))
+            wait_rates.append(waits / (SEEDS * DURATION))
+        out[label] = (deadlock_rates, wait_rates)
+    return out
+
+
+def test_bench_eq13(benchmark):
+    measured = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    fixed_deadlocks, fixed_waits = measured["fixed"]
+    scaled_deadlocks, scaled_waits = measured["scaled"]
+
+    # analytic: exactly linear, ten-fold at ten nodes
+    r = sweep(eager.total_deadlock_rate_scaled_db, ANALYTIC, "nodes",
+              [1, 2, 5, 10, 50])
+    assert fit_exponent(r.xs, r.ys) == pytest.approx(1.0)
+    assert amplification(
+        eager.total_deadlock_rate_scaled_db, ANALYTIC, "nodes", 10
+    ) == pytest.approx(10.0)
+
+    print()
+    print(format_table(
+        ["nodes", "fixed-DB deadlocks/s", "scaled-DB deadlocks/s",
+         "fixed-DB waits/s", "scaled-DB waits/s"],
+        list(zip(NODES, fixed_deadlocks, scaled_deadlocks, fixed_waits,
+                 scaled_waits)),
+        title=(
+            "Equation 13: growing DB_Size with Nodes tames the explosion "
+            f"(mean of {SEEDS} seeds)"
+        ),
+    ))
+
+    fixed_wait_exp = fit_exponent(NODES, fixed_waits)
+    scaled_wait_exp = fit_exponent(NODES, scaled_waits)
+    fixed_growth = fixed_deadlocks[-1] / fixed_deadlocks[0]
+    scaled_growth = scaled_deadlocks[-1] / scaled_deadlocks[0]
+    print(f"wait exponents: fixed {fixed_wait_exp:.2f} (model 3.0), "
+          f"scaled {scaled_wait_exp:.2f} (model 2.0)")
+    print(f"deadlock growth {NODES[0]}->{NODES[-1]} nodes: "
+          f"fixed {fixed_growth:.1f}x, scaled {scaled_growth:.1f}x")
+
+    # the robust wait-rate exponents drop from cubic to quadratic
+    assert fixed_wait_exp == pytest.approx(3.0, abs=0.5)
+    assert scaled_wait_exp == pytest.approx(2.0, abs=0.5)
+    # deadlock growth is dramatically flatter with the scaled database
+    assert scaled_growth < fixed_growth / 3
+    for f, s in zip(fixed_deadlocks, scaled_deadlocks):
+        assert s <= f

@@ -1,0 +1,63 @@
+"""Equation 14 — lazy-group reconciliation rate (connected operation).
+
+"Transactions that would wait in an eager replication system face
+reconciliation in a lazy-group replication system ... the system-wide
+lazy-group reconciliation rate follows the transaction wait rate equation
+(Equation 10)" — cubic in (Actions x Nodes).
+"""
+
+import pytest
+
+from repro.analytic import ModelParameters, eager, lazy_group
+from repro.analytic.scaling import amplification, fit_exponent, sweep
+from repro.harness import ExperimentConfig, run_experiment
+from repro.metrics.report import format_series, format_table
+
+ANALYTIC = ModelParameters(db_size=10_000, nodes=1, tps=10, actions=5,
+                           action_time=0.01)
+REGIME = ModelParameters(db_size=80, nodes=1, tps=4, actions=3,
+                         action_time=0.01, message_delay=0.05)
+NODES = [2, 3, 4, 6]
+DURATION = 200.0
+
+
+def simulate():
+    rates = []
+    for nodes in NODES:
+        result = run_experiment(
+            ExperimentConfig(strategy="lazy-group",
+                             params=REGIME.with_(nodes=nodes),
+                             duration=DURATION, seed=1)
+        )
+        rates.append(result.rates.reconciliation_rate)
+    return rates
+
+
+def test_bench_eq14(benchmark):
+    rates = benchmark.pedantic(simulate, rounds=1, iterations=1)
+
+    # --- closed form ---------------------------------------------------- #
+    assert lazy_group.reconciliation_rate(ANALYTIC) == pytest.approx(
+        eager.total_wait_rate(ANALYTIC)
+    )
+    r = sweep(lazy_group.reconciliation_rate, ANALYTIC, "nodes",
+              [1, 2, 5, 10])
+    assert fit_exponent(r.xs, r.ys) == pytest.approx(3.0)
+    assert amplification(
+        lazy_group.reconciliation_rate, ANALYTIC, "nodes", 10
+    ) == pytest.approx(1000.0)
+
+    # --- simulation ------------------------------------------------------ #
+    print()
+    print(format_series(NODES, rates, x_label="nodes",
+                        y_label="measured reconciliations/s"))
+    print(format_table(
+        ["nodes", "simulated reconciliations/s"],
+        list(zip(NODES, rates)),
+        title="Equation 14: lazy-group reconciliation rate, connected",
+    ))
+    fitted = fit_exponent(NODES, rates)
+    print(f"measured exponent: {fitted:.2f} (model: 3.0)")
+    assert fitted == pytest.approx(3.0, abs=0.75)
+    # the frightening headline, in simulation: 3x nodes -> >= ~20x conflicts
+    assert rates[-1] > 20 * rates[0]

@@ -1,0 +1,102 @@
+"""Equations 15-18 — disconnected (mobile) lazy-group reconciliation.
+
+"If any two transactions at any two different nodes update the same data
+during the disconnection period, then they will need reconciliation" — the
+collision probability is quadratic in ``Disconnect_Time x TPS x Actions``
+and the system-wide rate quadratic in Nodes (equation 18).
+
+The simulation cycles every node through dark periods
+(:class:`DisconnectScheduler` inside the harness).  Note on counting: the
+paper's rate counts *node-cycles needing reconciliation*; the simulator
+counts every conflicting replica update, which includes the (N-1)-way
+propagation fan-out of each collision — one extra factor of N.  The
+benchmark therefore fits the **per-node** reconciliation rate against the
+model's quadratic law.
+"""
+
+import pytest
+
+from repro.analytic import ModelParameters, lazy_group
+from repro.analytic.scaling import amplification, fit_exponent, sweep
+from repro.harness import ExperimentConfig, run_experiment
+from repro.metrics.report import format_table
+
+ANALYTIC = ModelParameters(db_size=10_000, nodes=4, tps=1, actions=5,
+                           action_time=0.01, disconnect_time=8.0)
+REGIME = ModelParameters(db_size=400, nodes=1, tps=2, actions=2,
+                         action_time=0.001, disconnect_time=5.0)
+NODES = [2, 4, 8]
+SEEDS = 2
+DURATION = 80.0
+
+
+def simulate():
+    node_sweep = []
+    for nodes in NODES:
+        total = 0
+        for seed in range(SEEDS):
+            result = run_experiment(
+                ExperimentConfig(strategy="lazy-group",
+                                 params=REGIME.with_(nodes=nodes),
+                                 duration=DURATION, seed=seed)
+            )
+            total += result.metrics.reconciliations
+        node_sweep.append(total / (SEEDS * DURATION))
+
+    disconnect_sweep = []
+    for disconnect in [2.5, 5.0, 10.0]:
+        total = 0
+        for seed in range(SEEDS):
+            result = run_experiment(
+                ExperimentConfig(
+                    strategy="lazy-group",
+                    params=REGIME.with_(nodes=4, disconnect_time=disconnect),
+                    duration=DURATION, seed=seed)
+            )
+            total += result.metrics.reconciliations
+        disconnect_sweep.append(total / (SEEDS * DURATION))
+    return node_sweep, disconnect_sweep
+
+
+def test_bench_eq15_18(benchmark):
+    node_rates, disconnect_rates = benchmark.pedantic(simulate, rounds=1,
+                                                      iterations=1)
+
+    # --- closed forms ----------------------------------------------------- #
+    assert lazy_group.outbound_updates(ANALYTIC) == pytest.approx(40.0)
+    assert lazy_group.inbound_updates(ANALYTIC) == pytest.approx(120.0)
+    assert lazy_group.collision_probability(ANALYTIC) == pytest.approx(0.64)
+    assert lazy_group.mobile_reconciliation_rate(ANALYTIC) == pytest.approx(
+        0.32
+    )
+    r = sweep(lazy_group.mobile_reconciliation_rate, ANALYTIC, "nodes",
+              [2, 4, 8, 16])
+    assert fit_exponent(r.xs, r.ys) == pytest.approx(2.0, abs=0.1)
+    assert amplification(
+        lazy_group.mobile_reconciliation_rate, ANALYTIC, "tps", 3
+    ) == pytest.approx(9.0)
+
+    # --- simulation -------------------------------------------------------- #
+    per_node = [rate / nodes for rate, nodes in zip(node_rates, NODES)]
+    print()
+    print(format_table(
+        ["nodes", "reconciliations/s (all)", "per node"],
+        [(n, r, pn) for n, r, pn in zip(NODES, node_rates, per_node)],
+        title="Equation 18: mobile reconciliation versus node count",
+    ))
+    print(format_table(
+        ["disconnect time (s)", "reconciliations/s"],
+        list(zip([2.5, 5.0, 10.0], disconnect_rates)),
+        title="Equation 18: mobile reconciliation versus disconnect time",
+    ))
+
+    per_node_exp = fit_exponent(NODES, per_node)
+    print(f"per-node exponent in Nodes: {per_node_exp:.2f} (model: 2.0)")
+    assert per_node_exp == pytest.approx(2.0, abs=0.6)
+
+    disconnect_exp = fit_exponent([2.5, 5.0, 10.0], disconnect_rates)
+    print(f"exponent in Disconnect_Time: {disconnect_exp:.2f} (model: 1.0)")
+    assert disconnect_exp == pytest.approx(1.0, abs=0.75)
+
+    # the qualitative claim: scaling up makes a well-behaved prototype blow up
+    assert node_rates[-1] > 10 * node_rates[0]

@@ -1,0 +1,74 @@
+"""Equation 19 — lazy-master deadlock rate.
+
+"(TPS x Nodes)^2 x Action_Time x Actions^5 / (4 x DB_Size^2)" — quadratic in
+Nodes, and strictly better than eager group's cubic (the paper: "slightly
+less deadlock prone than eager ... primarily because the transactions have
+shorter duration").
+"""
+
+import pytest
+
+from benchmarks.conftest import MASTER_REGIME, NODE_SWEEP, measure_sweep
+from repro.analytic import ModelParameters, eager, lazy_master
+from repro.analytic.scaling import fit_exponent, sweep
+from repro.metrics.report import format_table
+
+ANALYTIC = ModelParameters(db_size=10_000, nodes=1, tps=10, actions=5,
+                           action_time=0.01)
+DURATION = 300.0
+
+
+def simulate():
+    lm_deadlocks = measure_sweep(
+        "lazy-master", MASTER_REGIME, NODE_SWEEP,
+        metric=lambda r: r.rates.deadlock_rate, duration=DURATION,
+    )
+    lm_waits = measure_sweep(
+        "lazy-master", MASTER_REGIME, NODE_SWEEP,
+        metric=lambda r: r.rates.wait_rate, duration=DURATION, seed=2,
+    )
+    eager_deadlocks = measure_sweep(
+        "eager-group", MASTER_REGIME, NODE_SWEEP,
+        metric=lambda r: r.rates.deadlock_rate, duration=DURATION,
+    )
+    return lm_deadlocks, lm_waits, eager_deadlocks
+
+
+def test_bench_eq19(benchmark):
+    lm_deadlocks, lm_waits, eager_deadlocks = benchmark.pedantic(
+        simulate, rounds=1, iterations=1
+    )
+
+    # --- closed form ------------------------------------------------------ #
+    r = sweep(lazy_master.deadlock_rate, ANALYTIC, "nodes", [1, 2, 5, 10])
+    assert fit_exponent(r.xs, r.ys) == pytest.approx(2.0)
+    # single node degenerates to equation 5
+    from repro.analytic import single_node
+
+    assert lazy_master.deadlock_rate(ANALYTIC) == pytest.approx(
+        single_node.node_deadlock_rate(ANALYTIC)
+    )
+
+    # --- simulation --------------------------------------------------------- #
+    print()
+    print(format_table(
+        ["nodes", "lazy-master deadlocks/s", "lazy-master waits/s",
+         "eager-group deadlocks/s"],
+        list(zip(NODE_SWEEP, lm_deadlocks, lm_waits, eager_deadlocks)),
+        title="Equation 19: lazy-master versus eager-group deadlocks",
+    ))
+    deadlock_exp = fit_exponent(NODE_SWEEP, lm_deadlocks)
+    wait_exp = fit_exponent(NODE_SWEEP, lm_waits)
+    print(f"lazy-master exponents: deadlocks {deadlock_exp:.2f} "
+          f"(model 2.0), waits {wait_exp:.2f} (model 2.0)")
+
+    assert deadlock_exp == pytest.approx(2.0, abs=0.75)
+    assert wait_exp == pytest.approx(2.0, abs=0.5)
+    # who wins: lazy-master deadlocks strictly less than eager at every N>2
+    for n, lm, eg in zip(NODE_SWEEP, lm_deadlocks, eager_deadlocks):
+        if n > 2:
+            assert lm < eg, f"lazy-master should beat eager at N={n}"
+    # and the gap widens with N (cubic vs quadratic)
+    assert eager_deadlocks[-1] / max(lm_deadlocks[-1], 1e-9) > (
+        eager_deadlocks[0] / max(lm_deadlocks[0], 1e-9)
+    )

@@ -1,0 +1,73 @@
+"""Equations 6-8 — eager transaction size, duration, and the N^2 explosion.
+
+Measured directly from simulated eager transactions: size = Actions x Nodes,
+duration = Actions x Nodes x Action_Time, and the system-wide action rate
+growing quadratically while per-node TPS stays fixed.
+"""
+
+import pytest
+
+from repro.analytic import ModelParameters, eager
+from repro.analytic.scaling import fit_exponent
+from repro.metrics.report import format_table
+from repro.replication.eager_group import EagerGroupSystem
+from repro.txn.ops import WriteOp
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import uniform_update_profile
+
+ACTIONS = 3
+ACTION_TIME = 0.01
+TPS = 2.0
+DURATION = 100.0
+
+
+def measure_growth():
+    rows = []
+    for nodes in [1, 2, 4, 8]:
+        # one probe transaction measures size/duration without interference
+        probe_system = EagerGroupSystem(num_nodes=nodes, db_size=50,
+                                        action_time=ACTION_TIME)
+        p = probe_system.submit(0, [WriteOp(i, 1) for i in range(ACTIONS)])
+        probe_system.run()
+        size = probe_system.metrics.actions
+        duration = p.value.duration
+
+        # a loaded run measures the aggregate action rate
+        system = EagerGroupSystem(num_nodes=nodes, db_size=200,
+                                  action_time=0.0, seed=nodes)
+        workload = WorkloadGenerator(
+            system, uniform_update_profile(actions=ACTIONS, db_size=200),
+            tps=TPS,
+        )
+        workload.start(DURATION)
+        system.run()
+        action_rate = system.metrics.actions / DURATION
+        rows.append((nodes, size, duration, action_rate))
+    return rows
+
+
+def test_bench_eq6_8(benchmark):
+    rows = benchmark.pedantic(measure_growth, rounds=1, iterations=1)
+    params = ModelParameters(db_size=200, nodes=1, tps=TPS, actions=ACTIONS,
+                             action_time=ACTION_TIME)
+    print()
+    print(format_table(
+        ["nodes", "txn size (eq 6a)", "txn duration (eq 6b)",
+         "action rate/s (eq 8)"],
+        rows,
+        title="Equations 6-8: eager transaction growth, measured",
+    ))
+
+    for nodes, size, duration, action_rate in rows:
+        q = params.with_(nodes=nodes)
+        # equation 6: size and duration grow exactly linearly in N
+        assert size == eager.transaction_size(q)
+        assert duration == pytest.approx(eager.transaction_duration(q))
+        # equation 8: action rate tracks TPS x Actions x N^2
+        assert action_rate == pytest.approx(eager.action_rate(q), rel=0.2)
+
+    xs = [r[0] for r in rows]
+    rates = [r[3] for r in rows]
+    fitted = fit_exponent(xs, rates)
+    print(f"measured action-rate exponent: {fitted:.2f} (model: 2.0)")
+    assert fitted == pytest.approx(2.0, abs=0.2)

@@ -1,0 +1,87 @@
+"""Equations 9-12 — the headline result: eager deadlocks grow as Nodes^3.
+
+"Going from one-node to ten nodes increases the deadlock rate a thousand
+fold."
+
+The analytic sweep reproduces the exponents exactly (3 in Nodes, 5 in
+Actions) and the 1000x amplification.  The simulated sweep runs the
+calibrated contention regime and checks the measured growth is compatible
+with the cubic law (the closed system adds the time-dilation the model
+ignores, so the measured exponent sits slightly above 3; see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    EAGER_REGIME,
+    NODE_SWEEP,
+    assert_exponent,
+    measure_sweep,
+)
+from repro.analytic import ModelParameters, eager
+from repro.analytic.scaling import amplification, fit_exponent, sweep
+from repro.metrics.report import format_series, format_table
+
+ANALYTIC = ModelParameters(db_size=10_000, nodes=1, tps=10, actions=5,
+                           action_time=0.01)
+DURATION = 200.0
+
+
+def simulate_sweep():
+    deadlock_rates = measure_sweep(
+        "eager-group", EAGER_REGIME, NODE_SWEEP,
+        metric=lambda r: r.rates.deadlock_rate, duration=DURATION,
+    )
+    wait_rates = measure_sweep(
+        "eager-group", EAGER_REGIME, NODE_SWEEP,
+        metric=lambda r: r.rates.wait_rate, duration=DURATION, seed=2,
+    )
+    return deadlock_rates, wait_rates
+
+
+def test_bench_eq9_12(benchmark):
+    deadlock_rates, wait_rates = benchmark.pedantic(
+        simulate_sweep, rounds=1, iterations=1
+    )
+
+    # --- the paper's closed forms, exactly ---------------------------- #
+    r = sweep(eager.total_deadlock_rate, ANALYTIC, "nodes", [1, 2, 5, 10])
+    assert fit_exponent(r.xs, r.ys) == pytest.approx(3.0)
+    assert amplification(
+        eager.total_deadlock_rate, ANALYTIC, "nodes", 10
+    ) == pytest.approx(1000.0)
+    assert amplification(
+        eager.total_deadlock_rate, ANALYTIC, "actions", 10
+    ) == pytest.approx(100_000.0)
+    r10 = sweep(eager.total_wait_rate, ANALYTIC, "nodes", [1, 2, 5, 10])
+    assert fit_exponent(r10.xs, r10.ys) == pytest.approx(3.0)
+
+    # --- the simulator reproduces the shape --------------------------- #
+    print()
+    print(format_series(NODE_SWEEP, deadlock_rates, x_label="nodes",
+                        y_label="measured eager deadlocks/s"))
+    print(format_series(NODE_SWEEP, wait_rates, x_label="nodes",
+                        y_label="measured eager waits/s"))
+    print(format_table(
+        ["nodes", "analytic deadlocks/s (eq 12)", "simulated deadlocks/s"],
+        [
+            (n, eager.total_deadlock_rate(EAGER_REGIME.with_(nodes=n)), d)
+            for n, d in zip(NODE_SWEEP, deadlock_rates)
+        ],
+        title="Equation 12 versus simulation (calibrated regime)",
+    ))
+
+    deadlock_exp = assert_exponent(
+        NODE_SWEEP, deadlock_rates, expected=3.0, tolerance=1.0,
+        label="eager deadlock rate",
+    )
+    wait_exp = assert_exponent(
+        NODE_SWEEP, wait_rates, expected=3.0, tolerance=1.0,
+        label="eager wait rate",
+    )
+    print(f"measured exponents: deadlocks {deadlock_exp:.2f}, "
+          f"waits {wait_exp:.2f} (model: 3.0)")
+
+    # the qualitative headline: 3x nodes >= ~10x deadlocks in simulation
+    assert deadlock_rates[-1] > 8 * deadlock_rates[0]

@@ -1,0 +1,69 @@
+"""Figure 1 — eager versus lazy update propagation.
+
+"When replicated, a simple single-node transaction may apply its updates
+remotely either as part of the same transaction (eager) or as separate
+transactions (lazy). In either case, if data is replicated at N nodes, the
+transaction does N times as much work."
+
+Measured here at N=3 with a 3-action transaction (Write A, Write B, Write C,
+Commit — the figure's script):
+
+* single node: 1 transaction, 3 actions;
+* eager: 1 transaction, 9 actions, 3x the duration;
+* lazy: 3 transactions (root + 2 replica updates), 9 actions total.
+"""
+
+from repro.metrics.report import format_table
+from repro.replication.eager_group import EagerGroupSystem
+from repro.replication.lazy_group import LazyGroupSystem
+from repro.txn.ops import WriteOp
+
+ACTION_TIME = 0.01
+OPS = [WriteOp(0, 1), WriteOp(1, 2), WriteOp(2, 3)]  # Write A, B, C
+
+
+def run_figure1():
+    rows = []
+
+    single = EagerGroupSystem(num_nodes=1, db_size=10, action_time=ACTION_TIME)
+    p = single.submit(0, list(OPS))
+    single.run()
+    rows.append(("single-node", 1, single.metrics.actions, p.value.duration))
+
+    eager = EagerGroupSystem(num_nodes=3, db_size=10, action_time=ACTION_TIME)
+    p = eager.submit(0, list(OPS))
+    eager.run()
+    rows.append(("eager (N=3)", 1, eager.metrics.actions, p.value.duration))
+
+    lazy = LazyGroupSystem(num_nodes=3, db_size=10, action_time=ACTION_TIME)
+    p = lazy.submit(0, list(OPS))
+    lazy.run()
+    lazy_txns = lazy.metrics.commits + lazy.metrics.replica_updates
+    rows.append(
+        (f"lazy (N=3, {lazy_txns} txns)", lazy_txns, lazy.metrics.actions,
+         p.value.duration)
+    )
+    return rows
+
+
+def test_bench_figure1(benchmark):
+    rows = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["configuration", "transactions", "total actions", "root duration (s)"],
+        rows,
+        title="Figure 1: one 3-action update propagated three ways",
+    ))
+    single, eager, lazy = rows
+
+    # the transaction does N times as much work when replicated
+    assert eager[2] == 3 * single[2]
+    assert lazy[2] == 3 * single[2]
+
+    # eager: ONE transaction, stretched N times longer (equation 6)
+    assert eager[1] == 1
+    assert eager[3] == 3 * single[3]
+
+    # lazy: N transactions, root stays short
+    assert lazy[1] == 3
+    assert lazy[3] == single[3]

@@ -1,0 +1,97 @@
+"""Figure 3 — scaleup, partitioning, and replication growth.
+
+"Notice that each of the replicated servers at the lower right of the
+illustration is performing 2 TPS and the aggregate rate is 4 TPS. Doubling
+the users increased the total workload by a factor of four."
+
+Measured: the per-server and aggregate action rates of the figure's three
+2-node designs —
+
+* partitioned: two 1-TPS servers, each owning half the data, no replication;
+* replicated: two servers, each originating 1 TPS and also applying the
+  other's updates (so each does 2 TPS of update work; N^2 aggregate growth);
+
+— plus the analytic equation-8 curve confirming the N^2 law.
+"""
+
+from repro.analytic import eager as eager_eqs
+from repro.analytic import ModelParameters
+from repro.analytic.scaling import fit_exponent, sweep
+from repro.metrics.report import format_series, format_table
+from repro.replication.eager_group import EagerGroupSystem
+from repro.replication.eager_master import single_master_ownership
+from repro.replication.eager_master import EagerMasterSystem
+from repro.txn.ops import IncrementOp
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import uniform_update_profile
+
+TPS = 1.0
+ACTIONS = 2
+DURATION = 200.0
+
+
+def run_partitioned():
+    """Two independent 1-TPS servers over disjoint halves of the data:
+    modelled as two separate single-node systems."""
+    total_actions = 0
+    for half in range(2):
+        system = EagerGroupSystem(num_nodes=1, db_size=50, action_time=0.0,
+                                  seed=half)
+        workload = WorkloadGenerator(
+            system, uniform_update_profile(actions=ACTIONS, db_size=50),
+            tps=TPS,
+        )
+        workload.start(DURATION)
+        system.run()
+        total_actions += system.metrics.actions
+    return total_actions / DURATION
+
+
+def run_replicated():
+    system = EagerGroupSystem(num_nodes=2, db_size=100, action_time=0.0,
+                              seed=0)
+    workload = WorkloadGenerator(
+        system, uniform_update_profile(actions=ACTIONS, db_size=100), tps=TPS
+    )
+    workload.start(DURATION)
+    system.run()
+    return system.metrics.actions / DURATION
+
+
+def analytic_curve():
+    base = ModelParameters(db_size=100, nodes=1, tps=TPS, actions=ACTIONS,
+                           action_time=0.0)
+    return sweep(eager_eqs.action_rate, base, "nodes", [1, 2, 4, 8, 16])
+
+
+def run_figure3():
+    return run_partitioned(), run_replicated(), analytic_curve()
+
+
+def test_bench_figure3(benchmark):
+    partitioned, replicated, curve = benchmark.pedantic(
+        run_figure3, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["design", "aggregate update actions / s"],
+        [
+            ("partitioned (2 x 1 TPS)", partitioned),
+            ("replicated (2 x 1 TPS)", replicated),
+        ],
+        title="Figure 3: partitioning vs replication, 2 servers at 1 TPS each",
+    ))
+    print()
+    print(format_series(curve.xs, curve.ys, x_label="nodes",
+                        y_label="action rate (eq 8)"))
+
+    # partitioning: total work tracks total TPS (2 x 1 x ACTIONS = 2/s)
+    assert partitioned == pytest.approx(2 * TPS * ACTIONS, rel=0.2)
+    # replication: doubling the servers quadrupled the update work (4/s)
+    assert replicated == pytest.approx(4 * TPS * ACTIONS, rel=0.2)
+    assert replicated / partitioned == pytest.approx(2.0, rel=0.25)
+    # equation 8 is exactly quadratic
+    assert fit_exponent(curve.xs, curve.ys) == pytest.approx(2.0)
+
+
+import pytest  # noqa: E402  (used in assertions above)

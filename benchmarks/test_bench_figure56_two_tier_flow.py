@@ -1,0 +1,99 @@
+"""Figures 5 & 6 — the two-tier replication flow, end to end.
+
+Figure 5: mobile nodes accumulate tentative transactions while dark; on
+reconnect they flow to base nodes, which send back "base updates & failed
+base transactions".  Figure 6: tentative transactions from the mobile node
+merge with transactions from others at the base; updates and rejects flow
+back.
+
+The benchmark runs a complete disconnect / tentative-work / reconnect /
+re-execute cycle with interference from other nodes, and measures every
+leg of the exchange.
+"""
+
+import pytest
+
+from repro.core import NonNegativeOutputs, TwoTierSystem
+from repro.metrics.report import format_table
+from repro.txn.ops import IncrementOp
+
+BALANCE = 100
+
+
+def run_flow():
+    system = TwoTierSystem(num_base=2, num_mobile=2, db_size=10,
+                           action_time=0.001, initial_value=BALANCE, seed=0)
+    m2, m3 = system.mobile(2), system.mobile(3)
+
+    # both mobiles go dark and work tentatively against object 0
+    system.disconnect_mobile(2)
+    system.disconnect_mobile(3)
+    for _ in range(3):
+        m2.submit_tentative([IncrementOp(0, -20)], NonNegativeOutputs())
+        m3.submit_tentative([IncrementOp(0, -20)], NonNegativeOutputs())
+    system.run()
+
+    tentative_views = (m2.read(0), m3.read(0))
+    master_before = system.nodes[0].store.value(0)
+
+    # "transactions from others" (Figure 6): a base client drains funds
+    system.submit(0, [IncrementOp(0, -30)])
+    system.run()
+
+    # reconnect one at a time; base transactions interleave serializably
+    system.reconnect_mobile(2)
+    system.run()
+    system.reconnect_mobile(3)
+    system.run()
+
+    return system, tentative_views, master_before
+
+
+def test_bench_figure56(benchmark):
+    system, tentative_views, master_before = benchmark.pedantic(
+        run_flow, rounds=1, iterations=1
+    )
+    m2, m3 = system.mobile(2), system.mobile(3)
+    final = system.nodes[0].store.value(0)
+    accepted = system.metrics.tentative_accepted
+    rejected = system.metrics.tentative_rejected
+
+    print()
+    print(format_table(
+        ["leg of the exchange", "value"],
+        [
+            ("tentative view at mobile 2 while dark", tentative_views[0]),
+            ("tentative view at mobile 3 while dark", tentative_views[1]),
+            ("master value while mobiles dark", master_before),
+            ("tentative txns committed", system.metrics.tentative_committed),
+            ("base re-executions accepted", accepted),
+            ("base re-executions rejected", rejected),
+            ("final master balance", final),
+            ("base divergence (system delusion)", system.base_divergence()),
+            ("accept/reject notices delivered",
+             len(m2.notices) + len(m3.notices)),
+        ],
+        title="Figures 5/6: the two-tier exchange, measured",
+    ))
+
+    # while dark: each mobile saw its own 3 tentative debits (100 - 60)
+    assert tentative_views == (40, 40)
+    # the master was untouched by tentative work
+    assert master_before == BALANCE
+
+    # after the exchange: 100 - 30 (base client) leaves room for exactly 3
+    # of the 6 replayed -20 debits before the balance would go negative
+    assert accepted == 3
+    assert rejected == 3
+    assert final == BALANCE - 30 - 3 * 20  # = 10
+
+    # rejects carried diagnostics back to their mobiles (Figure 5's
+    # "failed base transactions" arrow)
+    assert all("negative" in t.diagnostic
+               for t in m2.rejected_transactions + m3.rejected_transactions)
+    assert len(m2.notices) + len(m3.notices) == 6
+
+    # the base tier never diverged, and the mobiles re-converged to it
+    assert system.base_divergence() == 0
+    assert system.divergence() == 0
+    assert m2.read(0) == final

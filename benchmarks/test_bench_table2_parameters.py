@@ -1,0 +1,23 @@
+"""Table 2 — the model parameter glossary, rendered and validated."""
+
+from repro.analytic import ModelParameters
+from repro.analytic.tables import TABLE_2, render_table_2
+
+
+def build_table():
+    p = ModelParameters(db_size=10_000, nodes=10, tps=10, actions=5,
+                        action_time=0.01, disconnect_time=3600.0,
+                        time_between_disconnects=82_800.0)
+    return p, render_table_2(p)
+
+
+def test_bench_table2(benchmark):
+    p, text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print()
+    print(text)
+    # every Table 2 row resolves against the live parameter object
+    for name, (description, attr) in TABLE_2.items():
+        assert hasattr(p, attr)
+        assert name in text
+    # the derived Transactions row equals equation 1
+    assert p.transactions == p.tps * p.actions * p.action_time

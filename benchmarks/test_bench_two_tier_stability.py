@@ -1,0 +1,88 @@
+"""X1 — two-tier stability versus lazy-group instability (section 7 claims).
+
+The same disconnected mobile workload, scaled up in node count, run under:
+
+* lazy-group — reconciliations grow super-linearly (equations 15-18);
+* two-tier with commuting transactions — **zero** reconciliations at every
+  scale, and the master database never diverges;
+* two-tier with the strict identical-outputs acceptance test — rejections
+  grow like the collision rate (the paper: acceptance failure "is
+  equivalent to the reconciliation mechanism"), but the master database
+  *still* never diverges: tentative work may bounce, the base state stays
+  consistent.  That asymmetry is the paper's whole point.
+"""
+
+import pytest
+
+from repro.analytic import ModelParameters
+from repro.harness import ExperimentConfig, run_experiment
+from repro.metrics.report import format_table
+
+REGIME = ModelParameters(db_size=100, nodes=1, tps=2, actions=2,
+                         action_time=0.001, disconnect_time=4.0)
+NODES = [2, 4, 8]
+DURATION = 60.0
+
+
+def simulate():
+    rows = []
+    for nodes in NODES:
+        params = REGIME.with_(nodes=nodes)
+        lazy = run_experiment(
+            ExperimentConfig(strategy="lazy-group", params=params,
+                             duration=DURATION, seed=1)
+        )
+        commuting = run_experiment(
+            ExperimentConfig(strategy="two-tier", params=params,
+                             duration=DURATION, seed=1, commutative=True)
+        )
+        strict = run_experiment(
+            ExperimentConfig(strategy="two-tier", params=params,
+                             duration=DURATION, seed=1, commutative=False)
+        )
+        rows.append((nodes, lazy, commuting, strict))
+    return rows
+
+
+def test_bench_two_tier_stability(benchmark):
+    rows = benchmark.pedantic(simulate, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["nodes", "lazy-group reconcile/s", "two-tier(commute) rejects",
+         "two-tier(strict) rejects", "lazy diverged", "base diverged"],
+        [
+            (
+                nodes,
+                lazy.rates.reconciliation_rate,
+                commuting.metrics.tentative_rejected,
+                strict.metrics.tentative_rejected,
+                lazy.divergence,
+                strict.extra["base_divergence"],
+            )
+            for nodes, lazy, commuting, strict in rows
+        ],
+        title="X1: identical mobile workload, lazy-group vs two-tier",
+    ))
+
+    lazy_rates = [lazy.rates.reconciliation_rate for _, lazy, _, _ in rows]
+    # lazy-group reconciliation load grows sharply with scale
+    assert lazy_rates[-1] > 5 * lazy_rates[0] > 0
+
+    for nodes, lazy, commuting, strict in rows:
+        # the section-7 claim, at every scale
+        assert commuting.metrics.tentative_rejected == 0
+        assert commuting.metrics.reconciliations == 0
+        assert commuting.extra["base_divergence"] == 0
+        # strict acceptance rejects but the master stays converged
+        assert strict.extra["base_divergence"] == 0
+        # every tentative transaction was adjudicated
+        assert (
+            strict.metrics.tentative_accepted
+            + strict.metrics.tentative_rejected
+            == strict.metrics.tentative_committed
+        )
+
+    strict_rejects = [s.metrics.tentative_rejected for _, _, _, s in rows]
+    # strict rejections track the collision growth (more nodes, more rejects)
+    assert strict_rejects[-1] > strict_rejects[0]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A travelling sales campaign on two-tier replication (paper section 7).
+
+Three salesmen leave the home office with replicated catalogs, spend the day
+disconnected quoting prices, reserving stock, and booking seats, while the
+home office changes prices and stock under them.  In the evening they sync:
+the paper's three sample acceptance criteria decide what sticks —
+
+* "The price quote can not exceed the tentative quote."
+* "The bank balance must not go negative."  (here: stock must not go
+  negative)
+* "The seats must be aisle seats."
+
+Run::
+
+    python examples/sales_campaign.py
+"""
+
+from repro.workload.sales import SalesScenario
+
+
+def main() -> None:
+    scenario = SalesScenario(items=4, seats=6, salesmen=3,
+                             initial_price=100.0, initial_stock=10, seed=7)
+    system = scenario.system
+
+    print("=" * 72)
+    print("MORNING: three salesmen leave with today's catalog")
+    print("=" * 72)
+    print(f"  item 0: ${scenario.initial_price:.0f}, "
+          f"{scenario.initial_stock} in stock")
+    scenario.send_salesmen_out()
+
+    print("\nON THE ROAD (disconnected): quotes, orders, seat bookings")
+    scenario.quote_and_order(0, item=0, quantity=6)
+    print("  salesman 0 sells 6 of item 0 at the $100 quote")
+    scenario.quote_and_order(1, item=0, quantity=6)
+    print("  salesman 1 ALSO sells 6 of item 0 at the $100 quote")
+    scenario.quote_and_order(2, item=1, quantity=3)
+    print("  salesman 2 sells 3 of item 1")
+    scenario.book_seat(0, seat=0, row=12, letter="C")
+    print("  salesman 0 books seat 12C (aisle) for a customer")
+    scenario.book_seat(1, seat=1, row=14, letter="A")
+    print("  salesman 1 books seat 14A (window!) for a customer")
+    system.run()
+
+    print("\nMEANWHILE AT HEAD OFFICE: item 1 is repriced to $140")
+    scenario.reprice_at_base(1, 140.0)
+    system.run()
+
+    print("\nEVENING: the salesmen return and sync")
+    scenario.salesmen_return()
+
+    print("\nRESULTS")
+    print("-" * 72)
+    for salesman in range(3):
+        rejections = scenario.rejections(salesman)
+        mobile = system.mobile(scenario.salesman_node(salesman))
+        accepted = len(mobile.accepted_transactions)
+        print(f"  salesman {salesman}: {accepted} accepted, "
+              f"{len(rejections)} rejected")
+        for label, diagnostic in rejections:
+            print(f"    REJECTED {label}: {diagnostic}")
+
+    print("\nFINAL MASTER STATE AT HEAD OFFICE")
+    print("-" * 72)
+    print(f"  item 0 stock: {scenario.stock_at_base(0):.0f} "
+          f"(orders honored: {scenario.orders_at_base(0):.0f} of 12 tried)")
+    print(f"  item 1 stock: {scenario.stock_at_base(1):.0f} "
+          f"(orders honored: {scenario.orders_at_base(1):.0f})")
+    seat0 = system.nodes[0].store.value(scenario.seat_oid(0))
+    seat1 = system.nodes[0].store.value(scenario.seat_oid(1))
+    print(f"  seat 0: {seat0!r}")
+    print(f"  seat 1: {seat1!r}  (0 means the booking was refused)")
+    print(f"  master divergence: {system.base_divergence()}")
+    print(f"  metrics: {system.metrics}")
+
+
+if __name__ == "__main__":
+    main()

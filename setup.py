@@ -1,0 +1,20 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works offline (legacy editable install).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Gray et al., 'The Dangers of Replication and a "
+        "Solution' (SIGMOD 1996)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,54 @@
+"""The paper's closed-form analytic model (equations 1-19).
+
+Every equation in the paper is implemented as a documented function taking a
+:class:`~repro.analytic.parameters.ModelParameters` (Table 2).  The module
+layout follows the paper's sections:
+
+* :mod:`~repro.analytic.single_node` — section 3's warm-up: waits and
+  deadlocks in a one-node system (equations 1-5).
+* :mod:`~repro.analytic.eager` — eager replication scaling (equations 6-13),
+  including the headline cubic deadlock growth and the scaled-database
+  variant.
+* :mod:`~repro.analytic.lazy_group` — lazy group replication reconciliation
+  (equation 14) and the disconnected/mobile collision analysis
+  (equations 15-18).
+* :mod:`~repro.analytic.lazy_master` — lazy master deadlocks (equation 19).
+* :mod:`~repro.analytic.two_tier` — derived rates for the proposed two-tier
+  scheme (base transactions behave per equation 19; reconciliation rate is
+  the acceptance-failure rate, zero when all transactions commute).
+* :mod:`~repro.analytic.refinements` — exact (non-linearised) versions of
+  the probability approximations, for checking the approximations' validity
+  region.
+* :mod:`~repro.analytic.scaling` — parameter sweeps and growth-exponent
+  fitting used by the benchmarks.
+* :mod:`~repro.analytic.tables` — renderings of the paper's Table 1
+  (strategy taxonomy) and Table 2 (parameter glossary).
+"""
+
+from repro.analytic.parameters import ModelParameters
+from repro.analytic import (
+    dilation,
+    eager,
+    lazy_group,
+    lazy_master,
+    refinements,
+    single_node,
+    two_tier,
+)
+from repro.analytic.presets import PRESETS, preset
+from repro.analytic.scaling import fit_exponent, sweep
+
+__all__ = [
+    "ModelParameters",
+    "single_node",
+    "eager",
+    "lazy_group",
+    "lazy_master",
+    "two_tier",
+    "dilation",
+    "refinements",
+    "fit_exponent",
+    "sweep",
+    "PRESETS",
+    "preset",
+]

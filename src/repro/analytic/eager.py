@@ -1,0 +1,156 @@
+"""Eager replication scaling — paper equations 6-13.
+
+"In a system of N nodes, N times as many transactions will be originating
+per second. Since each update transaction must replicate its updates to the
+other (N-1) nodes ... the transaction size for eager systems grows by a
+factor of N and the node update rate grows by N^2."
+"""
+
+from __future__ import annotations
+
+from repro.analytic.parameters import ModelParameters
+
+
+# --------------------------------------------------------------------- #
+# equation 6: size, duration, aggregate rate
+# --------------------------------------------------------------------- #
+
+def transaction_size(p: ModelParameters) -> float:
+    """Equation 6a: ``Transaction_Size = Actions x Nodes``."""
+    return p.actions * p.nodes
+
+
+def transaction_duration(p: ModelParameters) -> float:
+    """Equation 6b: ``Transaction_Duration = Actions x Nodes x Action_Time``.
+
+    Eager updates are applied to replicas sequentially in this model, so the
+    transaction takes ``Nodes`` times longer than a single-node one.
+    """
+    return p.actions * p.nodes * p.action_time
+
+
+def total_tps(p: ModelParameters) -> float:
+    """Equation 6c: ``Total_TPS = TPS x Nodes``."""
+    return p.tps * p.nodes
+
+
+# --------------------------------------------------------------------- #
+# equations 7-8: the quadratic explosion
+# --------------------------------------------------------------------- #
+
+def total_transactions(p: ModelParameters) -> float:
+    """Equation 7: concurrent transactions system-wide.
+
+    ``Total_Transactions = TPS x Actions x Action_Time x Nodes^2``
+
+    Quadratic: N nodes originate N times the transactions and each lives N
+    times longer (eager) or spawns N replica transactions (lazy) — the paper
+    notes equations 7 and 8 "apply to both eager and lazy systems".
+    """
+    return p.tps * p.actions * p.action_time * p.nodes**2
+
+
+def action_rate(p: ModelParameters) -> float:
+    """Equation 8: updates applied per second system-wide.
+
+    ``Action_Rate = Total_TPS x Transaction_Size = TPS x Actions x Nodes^2``
+    """
+    return p.tps * p.actions * p.nodes**2
+
+
+# --------------------------------------------------------------------- #
+# equations 9-12: waits and deadlocks
+# --------------------------------------------------------------------- #
+
+def wait_probability(p: ModelParameters) -> float:
+    """Equation 9: probability an eager transaction waits.
+
+    ``PW_eager ~= Total_Transactions x Actions x Actions / (2 DB_Size)
+               = TPS x Action_Time x Actions^3 x Nodes^2 / (2 DB_Size)``
+    """
+    return p.tps * p.action_time * p.actions**3 * p.nodes**2 / (2 * p.db_size)
+
+
+def total_wait_rate(p: ModelParameters) -> float:
+    """Equation 10: system-wide wait rate.
+
+    ``Total_Eager_Wait_Rate
+        = Total_Transactions x PW_eager / Transaction_Duration
+        = TPS^2 x Action_Time x (Actions x Nodes)^3 / (2 DB_Size)``
+
+    **Cubic in both Actions and Nodes.**
+    """
+    return (
+        p.tps**2 * p.action_time * (p.actions * p.nodes) ** 3 / (2 * p.db_size)
+    )
+
+
+def deadlock_probability(p: ModelParameters) -> float:
+    """Equation 11: probability an eager transaction deadlocks.
+
+    ``PD_eager ~= Total_Transactions x Actions^4 / (4 DB_Size^2)
+               = TPS x Action_Time x Actions^5 x Nodes^2 / (4 DB_Size^2)``
+    """
+    return (
+        p.tps * p.action_time * p.actions**5 * p.nodes**2 / (4 * p.db_size**2)
+    )
+
+
+def total_deadlock_rate(p: ModelParameters) -> float:
+    """Equation 12 — the headline result.
+
+    ``Total_Eager_Deadlock_Rate
+        = Total_Transactions x PD_eager / Transaction_Duration
+        = TPS^2 x Action_Time x Actions^5 x Nodes^3 / (4 DB_Size^2)``
+
+    "Deadlocks rise as the third power of the number of nodes ... and the
+    fifth power of the transaction size. Going from one-node to ten nodes
+    increases the deadlock rate a thousand fold."
+    """
+    return (
+        p.tps**2 * p.action_time * p.actions**5 * p.nodes**3
+        / (4 * p.db_size**2)
+    )
+
+
+def parallel_update_deadlock_rate(p: ModelParameters) -> float:
+    """Footnote 2's alternate model: replicas updated in parallel.
+
+    "An alternate model has eager actions broadcast the update to all
+    replicas in one instant. The replicas are updated in parallel and the
+    elapsed time for each action is constant (independent of N). ... the
+    number of concurrent transactions stays constant with scaleup. This
+    model avoids the polynomial explosion of waits and deadlocks if the
+    total TPS rate is held constant."
+
+    With per-action elapsed time back to ``Action_Time``, the system behaves
+    like one node running the aggregate load ``TPS x Nodes`` (the equation-5
+    construction), i.e. the deadlock rate drops from cubic to quadratic —
+    the same law as lazy master (equation 19):
+
+    ``(TPS x Nodes)^2 x Action_Time x Actions^5 / (4 DB_Size^2)``
+    """
+    return (
+        (p.tps * p.nodes) ** 2
+        * p.action_time
+        * p.actions**5
+        / (4 * p.db_size**2)
+    )
+
+
+def total_deadlock_rate_scaled_db(p: ModelParameters) -> float:
+    """Equation 13: deadlock rate when DB_Size grows with Nodes.
+
+    With ``DB_Size := DB_Size x Nodes`` substituted into equation 12 the
+    denominator gains ``Nodes^2``:
+
+    ``Eager_Deadlock_Rate_Scaled_DB
+        = TPS^2 x Action_Time x Actions^5 x Nodes / (4 DB_Size^2)``
+
+    "Now a ten-fold growth in the number of nodes creates only a ten-fold
+    growth in the deadlock rate. This is still an unstable situation, but it
+    is a big improvement."  Here ``p.db_size`` is the *per-node-unit* size.
+    """
+    return (
+        p.tps**2 * p.action_time * p.actions**5 * p.nodes / (4 * p.db_size**2)
+    )

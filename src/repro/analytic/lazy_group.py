@@ -1,0 +1,81 @@
+"""Lazy group replication — paper equations 14-18.
+
+"Transactions that would wait in an eager replication system face
+reconciliation in a lazy-group replication system. Waits are much more
+frequent than deadlocks because it takes two waits to make a deadlock."
+
+So the connected lazy-group reconciliation rate follows the *wait* rate
+(equation 10), and the disconnected/mobile analysis (equations 15-18) counts
+overlapping update sets accumulated while a node is dark.
+"""
+
+from __future__ import annotations
+
+from repro.analytic.parameters import ModelParameters
+from repro.analytic import eager
+from repro.exceptions import ConfigurationError
+
+
+def reconciliation_rate(p: ModelParameters) -> float:
+    """Equation 14: system-wide reconciliation rate, connected operation.
+
+    ``Lazy_Group_Reconciliation_Rate
+        = TPS^2 x Action_Time x (Actions x Nodes)^3 / (2 DB_Size)``
+
+    Identical in form to the eager wait rate (equation 10): every would-be
+    wait becomes a reconciliation.  "Having the reconciliation rate rise by a
+    factor of a thousand when the system scales up by a factor of ten is
+    frightening."
+    """
+    return eager.total_wait_rate(p)
+
+
+# --------------------------------------------------------------------- #
+# the disconnected / mobile case
+# --------------------------------------------------------------------- #
+
+def outbound_updates(p: ModelParameters) -> float:
+    """Equation 15: distinct pending outbound object updates at reconnect.
+
+    ``Outbound_Updates ~= Disconnect_Time x TPS x Actions``
+    """
+    return p.disconnect_time * p.tps * p.actions
+
+
+def inbound_updates(p: ModelParameters) -> float:
+    """Equation 16: pending inbound updates from the rest of the network.
+
+    ``Inbound_Updates ~= (Nodes - 1) x Disconnect_Time x TPS x Actions``
+    """
+    return (p.nodes - 1) * p.disconnect_time * p.tps * p.actions
+
+
+def collision_probability(p: ModelParameters, exact_nodes: bool = False) -> float:
+    """Equation 17: chance one node needs reconciliation per disconnect cycle.
+
+    ``P(collision) ~= Inbound x Outbound / DB_Size
+                   ~= Nodes x (Disconnect_Time x TPS x Actions)^2 / DB_Size``
+
+    The paper approximates ``Nodes - 1 ~= Nodes``; pass ``exact_nodes=True``
+    to keep the exact factor.
+    """
+    factor = (p.nodes - 1) if exact_nodes else p.nodes
+    return factor * (p.disconnect_time * p.tps * p.actions) ** 2 / p.db_size
+
+
+def mobile_reconciliation_rate(p: ModelParameters, exact_nodes: bool = False) -> float:
+    """Equation 18: system-wide reconciliation rate for disconnected nodes.
+
+    ``Lazy_Group_Reconciliation_Rate(mobile)
+        = P(collision) x Nodes / Disconnect_Time
+        = Disconnect_Time x (TPS x Actions x Nodes)^2 / DB_Size``
+
+    "The quadratic nature of this equation suggests that a system that
+    performs well on a few nodes with simple transactions may become unstable
+    as the system scales up."
+    """
+    if p.disconnect_time <= 0:
+        raise ConfigurationError(
+            "mobile reconciliation rate requires disconnect_time > 0"
+        )
+    return collision_probability(p, exact_nodes=exact_nodes) * p.nodes / p.disconnect_time

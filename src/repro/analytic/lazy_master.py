@@ -1,0 +1,52 @@
+"""Lazy master replication — paper equation 19.
+
+"Lazy-master systems have no reconciliation failures; rather, conflicts are
+resolved by waiting or deadlock. ... because there are Nodes times more
+users, there are Nodes times as many concurrent master transactions ... the
+main issue is how frequently the master transactions deadlock."
+"""
+
+from __future__ import annotations
+
+from repro.analytic.parameters import ModelParameters
+
+
+def deadlock_rate(p: ModelParameters) -> float:
+    """Equation 19: system-wide lazy-master deadlock rate.
+
+    ``Lazy_Master_Deadlock_Rate
+        = (TPS x Nodes)^2 x Action_Time x Actions^5 / (4 DB_Size^2)``
+
+    A single-node system (equation 5) running the whole network's load
+    ``TPS x Nodes``.  Quadratic in Nodes — better than eager's cubic
+    (equation 12) "primarily because the transactions have shorter duration",
+    but "still troubling ... as they grow to many nodes."
+    """
+    return (
+        (p.tps * p.nodes) ** 2
+        * p.action_time
+        * p.actions**5
+        / (4 * p.db_size**2)
+    )
+
+
+def wait_rate(p: ModelParameters) -> float:
+    """System-wide lazy-master wait rate (implied, not numbered).
+
+    The same single-node-at-aggregate-load argument applied to the wait rate
+    (square root of the deadlock construction): a single node running
+    ``TPS x Nodes`` gives ``(TPS x Nodes)^2 x Action_Time x Actions^3 / (2 DB)``.
+    """
+    return (
+        (p.tps * p.nodes) ** 2 * p.action_time * p.actions**3 / (2 * p.db_size)
+    )
+
+
+def replica_update_transactions(p: ModelParameters) -> float:
+    """Housekeeping replica-update transactions per second.
+
+    "approximately Nodes^2 times as many replica update transactions":
+    each of the ``TPS x Nodes`` committed master transactions fans out to
+    ``Nodes - 1`` slaves.
+    """
+    return p.tps * p.nodes * (p.nodes - 1)

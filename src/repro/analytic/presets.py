@@ -1,0 +1,62 @@
+"""Named parameter presets for the scenarios the paper reasons about.
+
+Each preset is a :class:`~repro.analytic.parameters.ModelParameters` tuned to
+one of the situations the paper describes, so examples, the CLI, and users
+can say what they mean::
+
+    from repro.analytic.presets import PRESETS
+    p = PRESETS["mobile-nightly"]
+
+Presets:
+
+* ``paper-baseline`` — the dilute regime used throughout the analytic
+  discussion: a modest OLTP node replicating a 10k-object database.
+* ``checkbook`` — the introduction's joint account: tiny database (your
+  accounts), few replicas (you, spouse, bank), low traffic.
+* ``mobile-nightly`` — section 4's mobile fleet: "The node accepts and
+  applies transactions for a day. Then, at night it connects" — a 24-hour
+  disconnect window.
+* ``mobile-hourly`` — the same fleet syncing hourly, for contrast.
+* ``oltp-cluster`` — a heavier connected cluster (TPC-style rates) where
+  the instability becomes visible at small node counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analytic.parameters import ModelParameters
+
+DAY = 24.0 * 3600.0
+HOUR = 3600.0
+
+PRESETS: Dict[str, ModelParameters] = {
+    "paper-baseline": ModelParameters(
+        db_size=10_000, nodes=10, tps=10.0, actions=5, action_time=0.01,
+    ),
+    "checkbook": ModelParameters(
+        db_size=10, nodes=3, tps=0.001, actions=1, action_time=0.01,
+        disconnect_time=DAY, time_between_disconnects=HOUR,
+    ),
+    "mobile-nightly": ModelParameters(
+        db_size=100_000, nodes=100, tps=0.1, actions=4, action_time=0.01,
+        disconnect_time=DAY, time_between_disconnects=HOUR,
+    ),
+    "mobile-hourly": ModelParameters(
+        db_size=100_000, nodes=100, tps=0.1, actions=4, action_time=0.01,
+        disconnect_time=HOUR, time_between_disconnects=60.0,
+    ),
+    "oltp-cluster": ModelParameters(
+        db_size=100_000, nodes=4, tps=100.0, actions=10, action_time=0.005,
+    ),
+}
+
+
+def preset(name: str) -> ModelParameters:
+    """Look up a preset by name; raises KeyError with the available names."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {', '.join(sorted(PRESETS))}"
+        ) from None

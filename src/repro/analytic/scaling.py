@@ -1,0 +1,115 @@
+"""Parameter sweeps and growth-exponent fitting.
+
+The paper's claims are about *shapes*: deadlock rate cubic in Nodes, quintic
+in Actions, reconciliation quadratic in the mobile case, linear with a scaled
+database.  ``sweep`` evaluates any model function along one parameter axis
+and ``fit_exponent`` recovers the polynomial order by least squares on
+log-log data, which is exactly how the benchmarks check each equation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.analytic.parameters import ModelParameters
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One sweep: the axis values and the function values along them."""
+
+    parameter: str
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+
+    def pairs(self) -> List[Tuple[float, float]]:
+        return list(zip(self.xs, self.ys))
+
+
+def sweep(
+    fn: Callable[[ModelParameters], float],
+    base: ModelParameters,
+    parameter: str,
+    values: Sequence,
+) -> SweepResult:
+    """Evaluate ``fn`` at ``base`` with ``parameter`` set to each value.
+
+    Example::
+
+        result = sweep(eager.total_deadlock_rate, params, "nodes", [1, 2, 5, 10])
+    """
+    if not values:
+        raise ConfigurationError("sweep requires at least one value")
+    if not hasattr(base, parameter):
+        raise ConfigurationError(f"unknown model parameter {parameter!r}")
+    ys = []
+    for value in values:
+        ys.append(fn(base.with_(**{parameter: value})))
+    return SweepResult(
+        parameter=parameter, xs=tuple(float(v) for v in values), ys=tuple(ys)
+    )
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    For ``y = c * x^k`` the returned value is exactly ``k``.  Requires at
+    least two strictly positive points.
+    """
+    points = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if len(points) < 2:
+        raise ConfigurationError(
+            "fit_exponent needs >= 2 points with positive x and y"
+        )
+    n = len(points)
+    mean_x = sum(lx for lx, _ in points) / n
+    mean_y = sum(ly for _, ly in points) / n
+    sxx = sum((lx - mean_x) ** 2 for lx, _ in points)
+    if sxx == 0:
+        raise ConfigurationError("fit_exponent needs at least two distinct x values")
+    sxy = sum((lx - mean_x) * (ly - mean_y) for lx, ly in points)
+    return sxy / sxx
+
+
+def amplification(fn: Callable[[ModelParameters], float],
+                  base: ModelParameters,
+                  parameter: str,
+                  factor: float) -> float:
+    """Ratio ``fn(param x factor) / fn(param)`` — the paper's "ten-fold
+    increase in nodes gives a thousand-fold increase in deadlocks" phrasing.
+    """
+    before = fn(base)
+    if before == 0:
+        raise ConfigurationError("amplification undefined: base value is zero")
+    current = getattr(base, parameter)
+    scaled_value = current * factor
+    if isinstance(current, int):
+        scaled_value = int(round(scaled_value))
+    after = fn(base.with_(**{parameter: scaled_value}))
+    return after / before
+
+
+def crossover(
+    fn_a: Callable[[ModelParameters], float],
+    fn_b: Callable[[ModelParameters], float],
+    base: ModelParameters,
+    parameter: str,
+    values: Sequence,
+) -> float | None:
+    """First axis value where ``fn_a`` overtakes ``fn_b`` (or None).
+
+    Used to locate, e.g., the node count at which eager deadlocks exceed a
+    tolerable threshold set by a lazy-master baseline.
+    """
+    for value in values:
+        p = base.with_(**{parameter: value})
+        if fn_a(p) > fn_b(p):
+            return float(value)
+    return None

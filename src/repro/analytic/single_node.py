@@ -1,0 +1,64 @@
+"""Single-node wait and deadlock analysis — paper equations 1-5.
+
+The derivation (section 3): the "other" transactions hold about
+``Transactions x Actions / 2`` locks (each transaction is halfway done).
+Objects are chosen uniformly from ``DB_Size``, so each of a transaction's
+``Actions`` requests collides with probability
+``Transactions x Actions / (2 DB_Size)``.
+"""
+
+from __future__ import annotations
+
+from repro.analytic.parameters import ModelParameters
+
+
+def concurrent_transactions(p: ModelParameters) -> float:
+    """Equation 1: ``Transactions = TPS x Actions x Action_Time``."""
+    return p.tps * p.actions * p.action_time
+
+
+def wait_probability(p: ModelParameters) -> float:
+    """Equation 2: probability a transaction waits during its lifetime.
+
+    ``PW ~= Transactions x Actions^2 / (2 x DB_Size)``
+
+    (the linearisation of ``1 - (1 - Transactions*Actions/(2 DB))^Actions``;
+    see :mod:`repro.analytic.refinements` for the exact form).
+    """
+    return concurrent_transactions(p) * p.actions**2 / (2 * p.db_size)
+
+
+def deadlock_probability(p: ModelParameters) -> float:
+    """Equation 3: probability a transaction deadlocks in its lifetime.
+
+    ``PD ~= PW^2 / Transactions
+         = Transactions x Actions^4 / (4 x DB_Size^2)
+         = TPS x Action_Time x Actions^5 / (4 x DB_Size^2)``
+    """
+    return p.tps * p.action_time * p.actions**5 / (4 * p.db_size**2)
+
+
+def transaction_deadlock_rate(p: ModelParameters) -> float:
+    """Equation 4: a transaction's deadlocks per second.
+
+    ``PD / (Actions x Action_Time) = TPS x Actions^4 / (4 x DB_Size^2)``
+    """
+    return p.tps * p.actions**4 / (4 * p.db_size**2)
+
+
+def node_deadlock_rate(p: ModelParameters) -> float:
+    """Equation 5: the node's total deadlock rate.
+
+    ``Transactions x eq4 = TPS^2 x Action_Time x Actions^5 / (4 DB_Size^2)``
+    """
+    return p.tps**2 * p.action_time * p.actions**5 / (4 * p.db_size**2)
+
+
+def node_wait_rate(p: ModelParameters) -> float:
+    """Waits per second at one node (PW per transaction x TPS).
+
+    Not numbered in the paper but implied by the same argument used for
+    equation 10: each of the ``TPS`` transactions completing per second
+    waited with probability ``PW``.
+    """
+    return wait_probability(p) * p.tps

@@ -1,0 +1,146 @@
+"""Renderings of the paper's Table 1 and Table 2.
+
+Table 1 ("A taxonomy of replication strategies") contrasts propagation
+(eager vs lazy) with ownership (group vs master), plus the proposed two-tier
+row.  Table 2 is the model-parameter glossary.  Both are reproduced as data
+(for tests) and as formatted text (for the benchmark output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analytic.parameters import ModelParameters
+from repro.metrics.report import format_table
+
+
+@dataclass(frozen=True)
+class TaxonomyEntry:
+    """One cell of Table 1: how a strategy structures an N-node update."""
+
+    propagation: str  # "eager" | "lazy" | "two-tier"
+    ownership: str  # "group" | "master" | "two-tier"
+    transactions_per_update: str  # e.g. "N", "1", "N+1"
+    object_owners: str  # "N" or "1"
+    note: str = ""
+
+
+TABLE_1: Dict[Tuple[str, str], TaxonomyEntry] = {
+    ("lazy", "group"): TaxonomyEntry(
+        propagation="lazy",
+        ownership="group",
+        transactions_per_update="N",
+        object_owners="N",
+    ),
+    ("eager", "group"): TaxonomyEntry(
+        propagation="eager",
+        ownership="group",
+        transactions_per_update="1",
+        object_owners="N",
+    ),
+    ("lazy", "master"): TaxonomyEntry(
+        propagation="lazy",
+        ownership="master",
+        transactions_per_update="N",
+        object_owners="1",
+    ),
+    ("eager", "master"): TaxonomyEntry(
+        propagation="eager",
+        ownership="master",
+        transactions_per_update="1",
+        object_owners="1",
+    ),
+    ("two-tier", "two-tier"): TaxonomyEntry(
+        propagation="two-tier",
+        ownership="two-tier",
+        transactions_per_update="N+1",
+        object_owners="1",
+        note="tentative local updates, eager base updates",
+    ),
+}
+
+
+def taxonomy_entry(propagation: str, ownership: str) -> TaxonomyEntry:
+    """Look up a Table 1 cell; raises KeyError for unknown combinations."""
+    return TABLE_1[(propagation, ownership)]
+
+
+def expected_transaction_count(propagation: str, nodes: int) -> int:
+    """Transactions needed to propagate one update to ``nodes`` replicas.
+
+    Eager: one (distributed) transaction.  Lazy: the root plus one replica
+    transaction per remote node = N.  Two-tier: the tentative transaction,
+    the base transaction, and N-1 replica updates = N+1.
+    """
+    if propagation == "eager":
+        return 1
+    if propagation == "lazy":
+        return nodes
+    if propagation == "two-tier":
+        return nodes + 1
+    raise KeyError(f"unknown propagation strategy {propagation!r}")
+
+
+def render_table_1() -> str:
+    """Format Table 1 as aligned text."""
+    rows: List[List[str]] = []
+    for key in [("lazy", "group"), ("eager", "group"), ("lazy", "master"),
+                ("eager", "master"), ("two-tier", "two-tier")]:
+        entry = TABLE_1[key]
+        rows.append(
+            [
+                entry.ownership,
+                entry.propagation,
+                f"{entry.transactions_per_update} transactions",
+                f"{entry.object_owners} object owners"
+                + (f" ({entry.note})" if entry.note else ""),
+            ]
+        )
+    return format_table(
+        ["ownership", "propagation", "transactions", "owners"],
+        rows,
+        title="Table 1: taxonomy of replication strategies",
+    )
+
+
+# parameter name -> (paper description, attribute on ModelParameters)
+TABLE_2: Dict[str, Tuple[str, str]] = {
+    "DB_Size": ("number of distinct objects in the database", "db_size"),
+    "Nodes": ("number of nodes; each node replicates all objects", "nodes"),
+    "Transactions": (
+        "number of concurrent transactions at a node (derived)",
+        "transactions",
+    ),
+    "TPS": ("number of transactions per second originating at this node", "tps"),
+    "Actions": ("number of updates in a transaction", "actions"),
+    "Action_Time": ("time to perform an action", "action_time"),
+    "Time_Between_Disconnects": (
+        "mean time between network disconnect of a node",
+        "time_between_disconnects",
+    ),
+    "Disconnected_Time": (
+        "mean time node is disconnected from network",
+        "disconnect_time",
+    ),
+    "Message_Delay": (
+        "time between update of an object and update of a replica (ignored)",
+        "message_delay",
+    ),
+    "Message_CPU": (
+        "processing and transmission time for a replication message (ignored)",
+        "message_cpu",
+    ),
+}
+
+
+def render_table_2(p: ModelParameters) -> str:
+    """Format Table 2 with the values of a concrete parameter set."""
+    rows = []
+    for name, (description, attr) in TABLE_2.items():
+        rows.append([name, getattr(p, attr), description])
+    return format_table(
+        ["parameter", "value", "description"],
+        rows,
+        title="Table 2: model parameters",
+    )

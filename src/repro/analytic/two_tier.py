@@ -1,0 +1,77 @@
+"""Derived rates for the two-tier scheme (paper section 7).
+
+The paper gives no new closed forms for two-tier — it states the scheme's
+behaviour in terms of the earlier equations:
+
+* "When executing a base transaction, the two-tier scheme is a lazy-master
+  scheme. So, the deadlock rate for base transactions is given by
+  equation (19)."  Deadlocked base transactions are "resubmitted and
+  reprocessed until [they succeed]", so deadlocks cost retries, not
+  reconciliations.
+* "The reconciliation rate for base transactions will be zero if all the
+  transactions commute."  Otherwise it is "driven by the rate at which the
+  base transactions fail their acceptance criteria."
+
+This module turns those statements into functions, parameterising the
+acceptance-failure path by (a) the fraction of transactions that do *not*
+commute and (b) the collision probability from the mobile analysis — a
+non-commuting tentative transaction fails its (strict, equal-output)
+acceptance test exactly when somebody else touched its data meanwhile, which
+is the equation-17 collision event.
+"""
+
+from __future__ import annotations
+
+from repro.analytic.parameters import ModelParameters
+from repro.analytic import lazy_group, lazy_master
+
+
+def base_deadlock_rate(p: ModelParameters) -> float:
+    """Deadlock rate for base transactions = equation 19 (lazy master).
+
+    "This is still an N^2 deadlock rate."
+    """
+    return lazy_master.deadlock_rate(p)
+
+
+def expected_retries_per_base_txn(p: ModelParameters) -> float:
+    """Mean resubmissions per base transaction due to deadlock victims.
+
+    With per-transaction deadlock probability ``PD`` (small), the expected
+    number of retries of a resubmit-until-success loop is ``PD/(1-PD)``.
+    """
+    total_rate = lazy_master.deadlock_rate(p)
+    txn_rate = p.tps * p.nodes
+    if txn_rate <= 0:
+        return 0.0
+    pd = min(total_rate / txn_rate, 0.999999)
+    return pd / (1.0 - pd)
+
+
+def reconciliation_rate(
+    p: ModelParameters, non_commuting_fraction: float = 0.0
+) -> float:
+    """Tentative-transaction rejection rate under two-tier replication.
+
+    * All transactions commute (``non_commuting_fraction == 0``) → **zero**,
+      the paper's key claim.
+    * A fraction ``f`` of transactions overwrite rather than commute → they
+      are rejected when their inputs changed during the disconnect window,
+      i.e. at ``f`` times the equation-18 collision rate.
+    """
+    if not 0.0 <= non_commuting_fraction <= 1.0:
+        raise ValueError("non_commuting_fraction must be in [0, 1]")
+    if non_commuting_fraction == 0.0:
+        return 0.0
+    return non_commuting_fraction * lazy_group.mobile_reconciliation_rate(p)
+
+
+def system_delusion(p: ModelParameters) -> float:
+    """Divergence of the *master* database under two-tier replication.
+
+    Identically zero: base transactions execute with single-copy
+    serializability, so "the master database is always converged — there is
+    no system delusion."  Provided as a function for symmetry in the
+    strategy-comparison table.
+    """
+    return 0.0

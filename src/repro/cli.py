@@ -1,0 +1,318 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables`` — print the paper's Table 1 and Table 2.
+* ``danger`` — print the analytic danger curves (equations 12, 14, 18, 19)
+  for given model parameters.
+* ``simulate`` — run one simulated experiment and print its measured rates.
+* ``compare`` — run every strategy at the given parameters and print the
+  section-8 scorecard.
+
+Examples::
+
+    python -m repro danger --nodes 20 --db-size 10000
+    python -m repro simulate --strategy lazy-group --nodes 4 --duration 60
+    python -m repro compare --nodes 4 --tps 3 --db-size 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analytic import (
+    ModelParameters,
+    eager,
+    lazy_group,
+    lazy_master,
+    two_tier,
+)
+from repro.analytic.presets import PRESETS, preset
+from repro.analytic.scaling import fit_exponent, sweep
+from repro.analytic.tables import render_table_1, render_table_2
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.comparison import strategy_comparison, strategy_table
+from repro.harness.experiment import STRATEGIES
+from repro.metrics.report import format_series, format_table
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", choices=sorted(PRESETS), default=None,
+                        help="start from a named scenario preset; explicit "
+                        "flags override its fields")
+    parser.add_argument("--db-size", type=int, default=10_000,
+                        help="objects in the database (Table 2 DB_Size)")
+    parser.add_argument("--nodes", type=int, default=10,
+                        help="replica nodes (Table 2 Nodes)")
+    parser.add_argument("--tps", type=float, default=10.0,
+                        help="transactions/second per node (Table 2 TPS)")
+    parser.add_argument("--actions", type=int, default=5,
+                        help="updates per transaction (Table 2 Actions)")
+    parser.add_argument("--action-time", type=float, default=0.01,
+                        help="seconds per action (Table 2 Action_Time)")
+    parser.add_argument("--disconnect-time", type=float, default=0.0,
+                        help="mean dark period for mobile scenarios")
+    parser.add_argument("--message-delay", type=float, default=0.0,
+                        help="replica propagation delay (model ignores it)")
+
+
+_MODEL_FLAGS = {
+    "db_size": 10_000,
+    "nodes": 10,
+    "tps": 10.0,
+    "actions": 5,
+    "action_time": 0.01,
+    "disconnect_time": 0.0,
+    "message_delay": 0.0,
+}
+
+
+def _params(args: argparse.Namespace) -> ModelParameters:
+    if args.preset:
+        base = preset(args.preset)
+        overrides = {
+            name: getattr(args, name)
+            for name, default in _MODEL_FLAGS.items()
+            if getattr(args, name) != default  # flag explicitly set
+        }
+        return base.with_(**overrides)
+    return ModelParameters(
+        db_size=args.db_size,
+        nodes=args.nodes,
+        tps=args.tps,
+        actions=args.actions,
+        action_time=args.action_time,
+        disconnect_time=args.disconnect_time,
+        message_delay=args.message_delay,
+    )
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    print(render_table_1())
+    print()
+    print(render_table_2(_params(args)))
+    return 0
+
+
+def cmd_danger(args: argparse.Namespace) -> int:
+    params = _params(args)
+    node_axis = sorted({1, 2, 5, 10, max(2, args.nodes)})
+    curves = [
+        ("eager deadlocks/s (eq 12)", eager.total_deadlock_rate),
+        ("lazy-group reconciliations/s (eq 14)",
+         lazy_group.reconciliation_rate),
+        ("lazy-master deadlocks/s (eq 19)", lazy_master.deadlock_rate),
+        ("two-tier base deadlocks/s", two_tier.base_deadlock_rate),
+    ]
+    for label, fn in curves:
+        result = sweep(fn, params, "nodes", node_axis)
+        print(format_series(result.xs, result.ys, x_label="nodes",
+                            y_label=label))
+        print(f"  growth order: N^{fit_exponent(result.xs, result.ys):.1f}\n")
+    if params.disconnect_time > 0:
+        result = sweep(lazy_group.mobile_reconciliation_rate, params,
+                       "nodes", node_axis)
+        print(format_series(result.xs, result.ys, x_label="nodes",
+                            y_label="mobile reconciliations/s (eq 18)"))
+        print(f"  growth order: N^{fit_exponent(result.xs, result.ys):.1f}\n")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    params = _params(args)
+    result = run_experiment(
+        ExperimentConfig(
+            strategy=args.strategy,
+            params=params,
+            duration=args.duration,
+            seed=args.seed,
+            commutative=args.commutative,
+        )
+    )
+    print(format_table(
+        ["quantity", "value"],
+        sorted(result.rates.as_dict().items()),
+        title=f"{args.strategy} at {params.describe()}",
+    ))
+    print()
+    print(format_table(
+        ["counter", "count"],
+        sorted((k, v) for k, v in result.metrics.as_dict().items() if v),
+        title="raw counters",
+    ))
+    print(f"\ndivergence after drain: {result.divergence}")
+    if args.json:
+        from repro.harness.export import write_json
+
+        path = write_json(result, args.json)
+        print(f"result written to {path}")
+    if args.trace:
+        _print_trace_sample(args, params)
+    return 0
+
+
+def _print_trace_sample(args: argparse.Namespace, params) -> int:
+    """Re-run the experiment's system with an echoing tracer attached.
+
+    The harness path does not thread a tracer, so the trace sample rebuilds
+    the same seeded system directly — identical behaviour by determinism.
+    """
+    from repro.harness.experiment import build_system
+    from repro.sim.tracing import Tracer
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.profiles import uniform_update_profile
+
+    config = ExperimentConfig(strategy=args.strategy, params=params,
+                              duration=min(args.duration, 5.0),
+                              seed=args.seed, commutative=args.commutative)
+    system = build_system(config)
+    system.tracer = Tracer(categories=set(args.trace.split(","))
+                           if args.trace != "all" else None)
+    workload = WorkloadGenerator(
+        system,
+        uniform_update_profile(actions=params.actions,
+                               db_size=params.db_size,
+                               commutative=args.commutative),
+        tps=params.tps,
+    )
+    workload.start(config.duration)
+    system.run()
+    print(f"\ntrace sample (first 5 virtual seconds, "
+          f"{len(system.tracer)} events):")
+    for event in system.tracer.events()[:40]:
+        print("  " + event.format())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    params = _params(args)
+    results = strategy_comparison(
+        params, duration=args.duration, seed=args.seed,
+        commutative=args.commutative,
+    )
+    print(strategy_table(results))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run a strategy with history recording and certify its schedule."""
+    from repro.verify.invariants import check_all
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.profiles import uniform_update_profile
+
+    params = _params(args)
+    kwargs = dict(
+        db_size=params.db_size,
+        action_time=params.action_time,
+        message_delay=params.message_delay,
+        seed=args.seed,
+        record_history=True,
+        retry_deadlocks=True,
+    )
+    from repro.core.protocol import TwoTierSystem
+    from repro.replication.eager_group import EagerGroupSystem
+    from repro.replication.eager_master import EagerMasterSystem
+    from repro.replication.lazy_group import LazyGroupSystem
+    from repro.replication.lazy_master import LazyMasterSystem
+
+    classes = {
+        "eager-group": EagerGroupSystem,
+        "eager-master": EagerMasterSystem,
+        "lazy-group": LazyGroupSystem,
+        "lazy-master": LazyMasterSystem,
+    }
+    if args.strategy == "two-tier":
+        system = TwoTierSystem(num_base=1, num_mobile=params.nodes, **kwargs)
+        workload_nodes = list(system.mobiles)
+    else:
+        system = classes[args.strategy](num_nodes=params.nodes, **kwargs)
+        workload_nodes = None
+    workload = WorkloadGenerator(
+        system,
+        uniform_update_profile(actions=params.actions, db_size=params.db_size,
+                               commutative=True),
+        tps=params.tps,
+        node_ids=workload_nodes,
+    )
+    workload.start(args.duration)
+    system.run()
+
+    expect_serializable = args.strategy != "lazy-group"
+    report = check_all(system, expect_serializable=expect_serializable)
+    graph = system.history.conflict_graph()
+    print(f"strategy: {args.strategy}")
+    print(f"committed transactions: {len(system.history.committed_ids)}")
+    print(f"conflict edges: {graph.edge_count()}")
+    print(f"one-copy serializable: {graph.is_serializable()}")
+    print(report.describe())
+    if args.strategy == "lazy-group" and not graph.is_serializable():
+        cycle = graph.find_cycle()
+        print("anomaly witness (expected for update-anywhere lazy): "
+              + " -> ".join(map(str, cycle)))
+        return 0
+    return 0 if report.ok and graph.is_serializable() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "The Dangers of Replication and a Solution (Gray et al. 1996), "
+            "reproduced: analytic curves, simulated experiments, and the "
+            "two-tier protocol."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="print Tables 1 and 2")
+    _add_model_arguments(p_tables)
+    p_tables.set_defaults(fn=cmd_tables)
+
+    p_danger = sub.add_parser("danger", help="print the analytic danger curves")
+    _add_model_arguments(p_danger)
+    p_danger.set_defaults(fn=cmd_danger)
+
+    p_sim = sub.add_parser("simulate", help="run one simulated experiment")
+    _add_model_arguments(p_sim)
+    p_sim.add_argument("--strategy", choices=STRATEGIES, default="lazy-master")
+    p_sim.add_argument("--duration", type=float, default=60.0)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--commutative", action="store_true",
+                       help="use commuting increment transactions")
+    p_sim.add_argument("--trace", default=None,
+                       help="print a trace sample; comma-separated "
+                       "categories or 'all' (e.g. --trace deadlock,commit)")
+    p_sim.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the result as JSON to PATH")
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="run every strategy, one table")
+    _add_model_arguments(p_cmp)
+    p_cmp.add_argument("--duration", type=float, default=60.0)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--commutative", action="store_true")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="record a run's history and certify schedule serializability",
+    )
+    _add_model_arguments(p_verify)
+    p_verify.add_argument("--strategy", choices=STRATEGIES,
+                          default="eager-group")
+    p_verify.add_argument("--duration", type=float, default=30.0)
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.set_defaults(fn=cmd_verify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Two-tier replication — the paper's proposed solution (section 7).
+
+The scheme splits the world into:
+
+* **Base nodes** — always connected, collectively mastering (most of) the
+  database and running serializable *base transactions* under lazy-master
+  replication.
+* **Mobile nodes** — usually disconnected, each keeping **two versions** of
+  every object: the *best known master version* and a *tentative version*
+  updated by local tentative transactions.
+
+While disconnected, a mobile node accumulates
+:class:`~repro.core.tentative.TentativeTransaction` records.  On reconnect
+the node runs the five-step exchange of section 7: discard tentative
+versions, upload mobile-mastered updates, replay tentative transactions as
+base transactions (in commit order, each guarded by an
+:class:`~repro.core.acceptance.AcceptanceCriterion`), download replica
+updates, and receive accept/reject notices.
+
+Key properties (all tested):
+
+1. mobile nodes may make tentative updates while disconnected;
+2. base transactions execute with single-copy serializability;
+3. a transaction is durable when its base transaction completes;
+4. replicas of all connected nodes converge to the base state;
+5. **if all transactions commute, there are no reconciliations** — the
+   master database never suffers system delusion.
+"""
+
+from repro.core.acceptance import (
+    AcceptanceCriterion,
+    AlwaysAccept,
+    IdenticalOutputs,
+    NonNegativeOutputs,
+    PredicateCriterion,
+    PriceNotAbove,
+    WithinTolerance,
+)
+from repro.core.scope import TransactionScope
+from repro.core.tentative import TentativeStatus, TentativeTransaction
+from repro.core.mobile import MobileNode
+from repro.core.protocol import TwoTierSystem
+
+__all__ = [
+    "AcceptanceCriterion",
+    "AlwaysAccept",
+    "IdenticalOutputs",
+    "NonNegativeOutputs",
+    "PredicateCriterion",
+    "PriceNotAbove",
+    "WithinTolerance",
+    "TransactionScope",
+    "TentativeStatus",
+    "TentativeTransaction",
+    "MobileNode",
+    "TwoTierSystem",
+]

@@ -1,0 +1,58 @@
+"""The two-tier scope rule.
+
+"Tentative transactions must follow a scope rule: they may involve objects
+mastered on base nodes and mastered at the mobile node originating the
+transaction (call this the transaction's scope). The idea is that the mobile
+node and all the base nodes will be in contact when the tentative
+transaction is processed as a 'real' base transaction — so the real
+transaction will be able to read the master copy of each item in the scope."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Set
+
+from repro.exceptions import ScopeViolationError
+from repro.txn.ops import Operation
+
+
+class TransactionScope:
+    """Validates tentative transactions against the scope rule.
+
+    Args:
+        ownership: map oid -> master node id (the system's full map).
+        base_node_ids: ids of the always-connected base nodes.
+    """
+
+    def __init__(self, ownership: Dict[int, int], base_node_ids: Iterable[int]):
+        self.ownership = ownership
+        self.base_node_ids: Set[int] = set(base_node_ids)
+
+    def allowed_oids(self, mobile_id: int) -> Set[int]:
+        """All objects a tentative transaction from ``mobile_id`` may touch."""
+        return {
+            oid
+            for oid, master in self.ownership.items()
+            if master in self.base_node_ids or master == mobile_id
+        }
+
+    def master_is_in_scope(self, oid: int, mobile_id: int) -> bool:
+        master = self.ownership.get(oid)
+        if master is None:
+            return False
+        return master in self.base_node_ids or master == mobile_id
+
+    def validate(self, ops: Sequence[Operation], mobile_id: int) -> None:
+        """Raise :class:`ScopeViolationError` if any op leaves the scope.
+
+        Both reads and writes are checked — a tentative transaction "cannot
+        read or write any [other mobile's] tentative data" and its base
+        re-execution must find every master reachable.
+        """
+        for op in ops:
+            if not self.master_is_in_scope(op.oid, mobile_id):
+                master = self.ownership.get(op.oid)
+                raise ScopeViolationError(
+                    f"object {op.oid} is mastered at node {master!r}, which is "
+                    f"neither a base node nor mobile node {mobile_id}"
+                )

@@ -1,0 +1,99 @@
+"""Tentative transactions and tentative object versions.
+
+A mobile node keeps *two versions* of every replicated item:
+
+* **master version** — "the most recent value received from the object
+  master" (possibly stale while disconnected), held in the node's ordinary
+  object store;
+* **tentative version** — "the local object may be updated by tentative
+  transactions", held here as an overlay on the master-version store.
+
+Reads at the mobile node see tentative values ("If the mobile node queries
+this data it sees the tentative values"); discarding the overlay implements
+reconnect step 1 ("Discards its tentative object versions since they will
+soon be refreshed from the masters").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.acceptance import AcceptanceCriterion
+from repro.storage.store import ObjectStore
+from repro.txn.ops import Operation
+
+
+class TentativeStatus(enum.Enum):
+    PENDING = "pending"  # committed at the mobile node, not yet replayed
+    ACCEPTED = "accepted"  # base transaction committed & passed acceptance
+    REJECTED = "rejected"  # base transaction failed its acceptance criterion
+
+
+@dataclass
+class TentativeTransaction:
+    """One tentative transaction awaiting base re-execution.
+
+    Carries everything the host base node needs (reconnect step 3: "Sends
+    all its tentative transactions (and all their input parameters) to the
+    base node to be executed in the order in which they committed").
+    """
+
+    seq: int
+    mobile_id: int
+    ops: List[Operation]
+    acceptance: AcceptanceCriterion
+    tentative_outputs: List[Any] = field(default_factory=list)
+    commit_time: float = 0.0
+    status: TentativeStatus = TentativeStatus.PENDING
+    diagnostic: str = ""
+    base_txn_id: Optional[int] = None
+    label: str = ""
+
+    @property
+    def pending(self) -> bool:
+        return self.status is TentativeStatus.PENDING
+
+
+class TentativeStore:
+    """The tentative-version overlay on a mobile node's master-version store.
+
+    Reads fall through to the base store when no tentative write has touched
+    the object; writes never touch the base store.
+    """
+
+    def __init__(self, base_store: ObjectStore):
+        self.base_store = base_store
+        self._overlay: Dict[int, Any] = {}
+
+    def value(self, oid: int) -> Any:
+        if oid in self._overlay:
+            return self._overlay[oid]
+        return self.base_store.value(oid)
+
+    def write(self, oid: int, value: Any) -> None:
+        self._overlay[oid] = value
+
+    def apply(self, op: Operation) -> Any:
+        """Apply an operation to the tentative version; returns new value."""
+        new_value = op.apply(self.value(op.oid))
+        if not op.is_read:
+            self.write(op.oid, new_value)
+        return new_value
+
+    def discard(self) -> int:
+        """Reconnect step 1: throw away all tentative versions."""
+        dropped = len(self._overlay)
+        self._overlay.clear()
+        return dropped
+
+    @property
+    def dirty_oids(self) -> Sequence[int]:
+        return sorted(self._overlay)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._overlay
+
+    def __len__(self) -> int:
+        return len(self._overlay)

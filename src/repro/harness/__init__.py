@@ -1,0 +1,34 @@
+"""Experiment harness: configure, simulate, measure, compare to the model.
+
+:func:`~repro.harness.experiment.run_experiment` is the single entry point
+the benchmarks use: a declarative
+:class:`~repro.harness.experiment.ExperimentConfig` names a strategy and the
+Table-2 parameters; the harness builds the system, drives the model workload
+(plus disconnect schedules when configured), runs to quiescence, and returns
+measured counters, rates, and convergence state.
+
+:mod:`~repro.harness.comparison` runs analytic-versus-simulated sweeps and
+produces the rows each benchmark prints; :mod:`~repro.harness.figures` fits
+growth exponents and renders ASCII curves.
+"""
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.comparison import analytic_vs_simulated, strategy_comparison
+from repro.harness.export import result_to_dict, write_json
+from repro.harness.figures import render_sweep, shape_summary
+from repro.harness.stats import RateEstimate, SeedStats, repeat_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "analytic_vs_simulated",
+    "strategy_comparison",
+    "render_sweep",
+    "shape_summary",
+    "repeat_experiment",
+    "SeedStats",
+    "RateEstimate",
+    "result_to_dict",
+    "write_json",
+]

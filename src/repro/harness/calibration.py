@@ -1,0 +1,124 @@
+"""Automatic regime calibration for rare-event measurement.
+
+The equations predict *rates of rare events* (deadlocks are "rare^2"), so a
+measurable simulation needs its contention dialed in: too dilute and a run
+observes nothing; too dense and the model's linearised forms no longer
+apply.  The benchmark regimes in ``benchmarks/conftest.py`` were hand
+calibrated; this module automates the search so new machines, horizons, or
+workload shapes can re-derive regimes instead of inheriting stale ones.
+
+The knob is ``db_size`` (contention scales as 1/DB for waits and 1/DB^2 for
+deadlocks, monotonically), searched by bisection over short probe runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analytic.parameters import ModelParameters
+from repro.exceptions import ConfigurationError
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a regime search."""
+
+    params: ModelParameters
+    measured_rate: float
+    target_rate: float
+    probes: int
+
+    @property
+    def relative_error(self) -> float:
+        if self.target_rate == 0:
+            return 0.0
+        return abs(self.measured_rate - self.target_rate) / self.target_rate
+
+
+def measure_rate(
+    params: ModelParameters,
+    strategy: str,
+    metric: Callable[[ExperimentResult], float],
+    duration: float,
+    seed: int,
+) -> float:
+    """One probe run, returning the chosen rate."""
+    result = run_experiment(
+        ExperimentConfig(strategy=strategy, params=params, duration=duration,
+                         seed=seed)
+    )
+    return metric(result)
+
+
+def calibrate_db_size(
+    base: ModelParameters,
+    target_rate: float,
+    strategy: str = "eager-group",
+    metric: Callable[[ExperimentResult], float] = (
+        lambda r: r.rates.deadlock_rate
+    ),
+    duration: float = 60.0,
+    seed: int = 0,
+    min_db: Optional[int] = None,
+    max_db: int = 1_000_000,
+    tolerance: float = 0.5,
+    max_probes: int = 12,
+) -> CalibrationResult:
+    """Find a ``db_size`` whose measured event rate is near ``target_rate``.
+
+    Bisection on ``log(db_size)``: the rate is monotone decreasing in the
+    database size, so the search converges in ~log2(range) probes.  The
+    returned regime satisfies ``|measured - target| <= tolerance x target``
+    or is the best point found within ``max_probes``.
+
+    Raises :class:`ConfigurationError` when even the smallest database
+    cannot reach the target (workload too light for the horizon).
+    """
+    if target_rate <= 0:
+        raise ConfigurationError("target_rate must be positive")
+    if not 0 < tolerance < 1:
+        raise ConfigurationError("tolerance must be in (0, 1)")
+    low = min_db if min_db is not None else max(base.actions, 8)
+    high = max_db
+    if low >= high:
+        raise ConfigurationError("min_db must be below max_db")
+
+    probes = 0
+
+    def probe(db: int) -> float:
+        nonlocal probes
+        probes += 1
+        return measure_rate(base.with_(db_size=db), strategy, metric,
+                            duration, seed)
+
+    # rate at the densest allowed regime bounds what is achievable
+    best_db, best_rate = low, probe(low)
+    if best_rate < target_rate * (1 - tolerance):
+        raise ConfigurationError(
+            f"target rate {target_rate}/s unreachable: even db_size={low} "
+            f"measures only {best_rate:.4g}/s over {duration}s"
+        )
+
+    low_db, high_db = low, high
+    while probes < max_probes:
+        mid = int(round((low_db * high_db) ** 0.5))  # geometric midpoint
+        if mid in (low_db, high_db):
+            break
+        rate = probe(mid)
+        if abs(rate - target_rate) < abs(best_rate - target_rate):
+            best_db, best_rate = mid, rate
+        if abs(rate - target_rate) <= tolerance * target_rate:
+            best_db, best_rate = mid, rate
+            break
+        if rate > target_rate:
+            low_db = mid  # too contended: grow the database
+        else:
+            high_db = mid
+    return CalibrationResult(
+        params=base.with_(db_size=best_db),
+        measured_rate=best_rate,
+        target_rate=target_rate,
+        probes=probes,
+    )

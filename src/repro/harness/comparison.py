@@ -1,0 +1,135 @@
+"""Analytic-versus-simulated comparisons and the strategy scorecard."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analytic.parameters import ModelParameters
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.metrics.report import format_table
+
+
+@dataclass
+class ComparisonRow:
+    """One sweep point: the axis value, the model's rate, the measured rate."""
+
+    x: float
+    analytic: float
+    simulated: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.analytic == 0:
+            return None
+        return self.simulated / self.analytic
+
+
+def analytic_vs_simulated(
+    strategy: str,
+    base_params: ModelParameters,
+    parameter: str,
+    values: Sequence,
+    analytic_fn: Callable[[ModelParameters], float],
+    measure: Callable[[ExperimentResult], float],
+    duration: float = 100.0,
+    seed: int = 0,
+    **config_kwargs,
+) -> List[ComparisonRow]:
+    """Sweep one Table-2 parameter, comparing a model curve to measurement.
+
+    ``analytic_fn`` maps parameters to the model's predicted rate;
+    ``measure`` extracts the corresponding measured rate from a result
+    (e.g. ``lambda r: r.deadlock_rate``).
+    """
+    rows: List[ComparisonRow] = []
+    for value in values:
+        params = base_params.with_(**{parameter: value})
+        predicted = analytic_fn(params)
+        result = run_experiment(
+            ExperimentConfig(
+                strategy=strategy,
+                params=params,
+                duration=duration,
+                seed=seed,
+                **config_kwargs,
+            )
+        )
+        rows.append(
+            ComparisonRow(x=float(value), analytic=predicted,
+                          simulated=measure(result))
+        )
+    return rows
+
+
+def comparison_table(rows: Sequence[ComparisonRow], x_label: str,
+                     rate_label: str, title: str = "") -> str:
+    """Render comparison rows as the table a benchmark prints."""
+    body = []
+    for row in rows:
+        body.append(
+            [row.x, row.analytic, row.simulated,
+             "-" if row.ratio is None else f"{row.ratio:.2f}"]
+        )
+    return format_table(
+        [x_label, f"analytic {rate_label}", f"simulated {rate_label}",
+         "sim/analytic"],
+        body,
+        title=title,
+    )
+
+
+def strategy_comparison(
+    params: ModelParameters,
+    strategies: Sequence[str] = (
+        "eager-group",
+        "eager-master",
+        "lazy-group",
+        "lazy-master",
+        "two-tier",
+    ),
+    duration: float = 100.0,
+    seed: int = 0,
+    commutative: bool = False,
+) -> Dict[str, ExperimentResult]:
+    """Run every strategy at identical load — the section 8 summary,
+    quantified.  Returns strategy -> result."""
+    results: Dict[str, ExperimentResult] = {}
+    for strategy in strategies:
+        results[strategy] = run_experiment(
+            ExperimentConfig(
+                strategy=strategy,
+                params=params,
+                duration=duration,
+                seed=seed,
+                commutative=commutative,
+            )
+        )
+    return results
+
+
+def strategy_table(results: Dict[str, ExperimentResult]) -> str:
+    """Render the cross-strategy scorecard."""
+    rows: List[List] = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.metrics.commits,
+                result.rates.wait_rate,
+                result.rates.deadlock_rate,
+                result.rates.reconciliation_rate,
+                result.metrics.tentative_rejected,
+                result.divergence,
+            ]
+        )
+    return format_table(
+        ["strategy", "commits", "waits/s", "deadlocks/s", "reconcile/s",
+         "rejects", "diverged"],
+        rows,
+        title="Strategy comparison at identical load",
+    )

@@ -1,0 +1,230 @@
+"""Declarative experiments: config in, measured rates out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.analytic.parameters import ModelParameters
+from repro.core.acceptance import (
+    AcceptanceCriterion,
+    AlwaysAccept,
+    IdenticalOutputs,
+)
+from repro.core.protocol import TwoTierSystem
+from repro.exceptions import ConfigurationError
+from repro.metrics.counters import Metrics
+from repro.metrics.rates import RateSummary, summarize
+from repro.replication.base import ReplicatedSystem
+from repro.replication.eager_group import EagerGroupSystem
+from repro.replication.eager_master import EagerMasterSystem
+from repro.replication.lazy_group import LazyGroupSystem
+from repro.replication.lazy_master import LazyMasterSystem
+from repro.replication.reconciliation import ReconciliationRule
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.mobile_cycle import MobileCycleDriver
+from repro.workload.profiles import uniform_update_profile
+from repro.workload.schedule import DisconnectScheduler
+
+STRATEGIES = (
+    "eager-group",
+    "eager-master",
+    "lazy-group",
+    "lazy-master",
+    "two-tier",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One simulation experiment.
+
+    Args:
+        strategy: one of :data:`STRATEGIES`.
+        params: the Table-2 model parameters.  ``params.disconnect_time > 0``
+            adds a disconnect schedule: every node cycles dark/connected
+            (lazy-group), or every *mobile* node runs tentative day-cycles
+            (two-tier).
+        duration: workload generation horizon in virtual seconds.
+        seed: master random seed.
+        commutative: use increment operations instead of blind writes.
+        num_base: base nodes for two-tier (mobiles = params.nodes).
+        acceptance: two-tier acceptance criterion (defaults to the strict
+            IdenticalOutputs for non-commutative work, AlwaysAccept for
+            commutative).
+        rule: lazy-group reconciliation rule override.
+        warmup: virtual seconds of workload to run *before* measurement
+            starts; counters accumulated during warmup are excluded from the
+            reported rates, so transients (cold queues, empty lock tables)
+            do not bias steady-state measurements.
+    """
+
+    strategy: str
+    params: ModelParameters
+    duration: float = 100.0
+    seed: int = 0
+    commutative: bool = False
+    num_base: int = 1
+    acceptance: Optional[AcceptanceCriterion] = None
+    rule: Optional[ReconciliationRule] = None
+    warmup: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.num_base <= 0:
+            raise ConfigurationError("num_base must be positive")
+        if self.warmup < 0:
+            raise ConfigurationError("warmup must be >= 0")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured from one run."""
+
+    config: ExperimentConfig
+    metrics: Metrics
+    rates: RateSummary
+    horizon: float
+    divergence: int
+    end_time: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def deadlock_rate(self) -> float:
+        return self.rates.deadlock_rate
+
+    @property
+    def wait_rate(self) -> float:
+        return self.rates.wait_rate
+
+    @property
+    def reconciliation_rate(self) -> float:
+        return self.rates.reconciliation_rate
+
+
+def build_system(config: ExperimentConfig) -> ReplicatedSystem:
+    """Construct the configured replication system (without workload)."""
+    p = config.params
+    common = dict(
+        db_size=p.db_size,
+        action_time=p.action_time,
+        message_delay=p.message_delay,
+        seed=config.seed,
+    )
+    if config.strategy == "eager-group":
+        return EagerGroupSystem(num_nodes=p.nodes, **common)
+    if config.strategy == "eager-master":
+        return EagerMasterSystem(num_nodes=p.nodes, **common)
+    if config.strategy == "lazy-group":
+        return LazyGroupSystem(
+            num_nodes=p.nodes,
+            rule=config.rule,
+            propagate_ops=config.commutative,
+            **common,
+        )
+    if config.strategy == "lazy-master":
+        return LazyMasterSystem(num_nodes=p.nodes, **common)
+    if config.strategy == "two-tier":
+        return TwoTierSystem(
+            num_base=config.num_base, num_mobile=p.nodes, **common
+        )
+    raise ConfigurationError(f"unknown strategy {config.strategy!r}")
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build, drive, drain, and measure one experiment.
+
+    The measurement horizon is the workload duration; the engine then runs
+    to quiescence so that all lazy propagation lands before convergence is
+    checked (rates still divide by the duration, matching the model's
+    steady-state quantities).  With ``warmup > 0`` the workload runs for
+    ``warmup + duration`` and the counters accumulated before the warmup
+    deadline are subtracted from the reported metrics.
+    """
+    p = config.params
+    system = build_system(config)
+    # Two-tier always uses state-dependent increment operations: a blind
+    # write's outputs are state-independent, which would make the strict
+    # IdenticalOutputs acceptance test vacuously true.  The ``commutative``
+    # flag then selects the *acceptance semantics*: transactions designed to
+    # commute accept any base outcome (zero reconciliations, the paper's
+    # claim); non-commuting semantics demand identical outputs, so base
+    # rejections track the collision rate.
+    profile = uniform_update_profile(
+        actions=p.actions,
+        db_size=p.db_size,
+        commutative=config.commutative or config.strategy == "two-tier",
+    )
+
+    generation_horizon = config.warmup + config.duration
+
+    if config.strategy == "two-tier":
+        acceptance = config.acceptance
+        if acceptance is None:
+            acceptance = AlwaysAccept() if config.commutative else IdenticalOutputs()
+        if p.disconnect_time > 0:
+            driver = MobileCycleDriver(
+                system,
+                profile,
+                tps=p.tps,
+                disconnect_time=p.disconnect_time,
+                connected_time=p.time_between_disconnects,
+                acceptance=acceptance,
+            )
+            driver.start(generation_horizon)
+        else:
+            # connected operation: mobiles submit base transactions directly
+            workload = WorkloadGenerator(
+                system, profile, tps=p.tps, node_ids=list(system.mobiles)
+            )
+            workload.start(generation_horizon)
+    else:
+        workload = WorkloadGenerator(system, profile, tps=p.tps)
+        workload.start(generation_horizon)
+        if p.disconnect_time > 0:
+            if config.strategy != "lazy-group":
+                raise ConfigurationError(
+                    "disconnect schedules apply to lazy-group and two-tier "
+                    f"strategies, not {config.strategy!r}"
+                )
+            scheduler = DisconnectScheduler(
+                system,
+                disconnect_time=p.disconnect_time,
+                connected_time=p.time_between_disconnects or None,
+            )
+            scheduler.start(generation_horizon)
+
+    if config.warmup > 0:
+        system.run(until=config.warmup)
+        baseline = system.metrics.as_dict()
+    else:
+        baseline = None
+    system.run()
+
+    metrics = system.metrics
+    if baseline is not None:
+        steady = Metrics()
+        for name, value in metrics.as_dict().items():
+            steady.bump(name, value - baseline.get(name, 0))
+        metrics = steady
+
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        rates=summarize(metrics, config.duration),
+        horizon=config.duration,
+        divergence=system.divergence(),
+        end_time=system.engine.now,
+        extra={
+            "base_divergence": (
+                system.base_divergence()
+                if isinstance(system, TwoTierSystem)
+                else None
+            )
+        },
+    )

@@ -1,0 +1,117 @@
+"""Machine-readable result export.
+
+Downstream users replot reproduction results with their own tools; these
+helpers serialise experiment results, sweeps, and multi-seed statistics to
+plain JSON-compatible dictionaries (and to files), keeping the provenance —
+configuration, seeds, horizon — attached to every number.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.harness.comparison import ComparisonRow
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.harness.stats import SeedStats
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    p = config.params
+    return {
+        "strategy": config.strategy,
+        "duration": config.duration,
+        "seed": config.seed,
+        "commutative": config.commutative,
+        "num_base": config.num_base,
+        "warmup": config.warmup,
+        "acceptance": getattr(config.acceptance, "name", None),
+        "rule": getattr(config.rule, "name", None),
+        "params": {
+            "db_size": p.db_size,
+            "nodes": p.nodes,
+            "tps": p.tps,
+            "actions": p.actions,
+            "action_time": p.action_time,
+            "disconnect_time": p.disconnect_time,
+            "time_between_disconnects": p.time_between_disconnects,
+            "message_delay": p.message_delay,
+        },
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """One experiment result with full provenance."""
+    return {
+        "config": config_to_dict(result.config),
+        "rates": result.rates.as_dict(),
+        "counters": result.metrics.as_dict(),
+        "divergence": result.divergence,
+        "end_time": result.end_time,
+        "extra": {k: v for k, v in result.extra.items() if v is not None},
+    }
+
+
+def stats_to_dict(stats: SeedStats) -> Dict[str, Any]:
+    """Multi-seed statistics with per-rate CI."""
+    return {
+        "config": config_to_dict(stats.config),
+        "seeds": list(stats.seeds),
+        "rates": {
+            name: {
+                "mean": est.mean,
+                "std": est.std,
+                "ci95_half_width": est.ci95_half_width,
+                "samples": list(est.samples),
+            }
+            for name, est in stats.rates.items()
+        },
+    }
+
+
+def comparison_to_dict(rows: Sequence[ComparisonRow], x_label: str,
+                       rate_label: str) -> Dict[str, Any]:
+    """An analytic-vs-simulated sweep."""
+    return {
+        "x_label": x_label,
+        "rate_label": rate_label,
+        "points": [
+            {
+                "x": row.x,
+                "analytic": row.analytic,
+                "simulated": row.simulated,
+                "ratio": row.ratio,
+            }
+            for row in rows
+        ],
+    }
+
+
+Exportable = Union[ExperimentResult, SeedStats, Dict[str, Any]]
+
+
+def to_dict(obj: Exportable) -> Dict[str, Any]:
+    """Dispatch helper for the supported result types."""
+    if isinstance(obj, ExperimentResult):
+        return result_to_dict(obj)
+    if isinstance(obj, SeedStats):
+        return stats_to_dict(obj)
+    if isinstance(obj, dict):
+        return obj
+    raise TypeError(f"cannot export {type(obj).__name__}")
+
+
+def write_json(obj: Exportable, path: Union[str, Path]) -> Path:
+    """Serialise ``obj`` to ``path`` (pretty-printed, stable key order)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as fh:
+        json.dump(to_dict(obj), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return target
+
+
+def read_json(path: Union[str, Path]) -> Dict[str, Any]:
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,55 @@
+"""Shape analysis and ASCII figures for the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.analytic.parameters import ModelParameters
+from repro.analytic.scaling import fit_exponent, sweep
+from repro.metrics.report import format_series, growth_caption
+
+
+def render_sweep(
+    fn: Callable[[ModelParameters], float],
+    base: ModelParameters,
+    parameter: str,
+    values: Sequence,
+    y_label: str,
+) -> str:
+    """Evaluate an analytic curve and render it as a log-scale bar figure."""
+    result = sweep(fn, base, parameter, values)
+    figure = format_series(result.xs, result.ys, x_label=parameter,
+                           y_label=y_label)
+    try:
+        exponent = fit_exponent(result.xs, result.ys)
+        caption = growth_caption(exponent, variable=parameter)
+    except Exception:
+        caption = "(exponent not defined)"
+    return f"{figure}\n{caption}"
+
+
+def shape_summary(
+    xs: Sequence[float], ys: Sequence[float], variable: str = "N"
+) -> Tuple[Optional[float], str]:
+    """Fitted exponent plus a caption, tolerant of all-zero series."""
+    try:
+        exponent = fit_exponent(xs, ys)
+    except Exception:
+        return None, f"no growth measurable in {variable}"
+    return exponent, growth_caption(exponent, variable=variable)
+
+
+def shapes_agree(
+    analytic_exponent: float,
+    measured_exponent: Optional[float],
+    tolerance: float = 0.75,
+) -> bool:
+    """Loose agreement test for simulated growth orders.
+
+    Simulated rates are noisy counts of rare events; the reproduction
+    criterion is the paper's *shape* (cubic vs quadratic vs linear), so a
+    generous tolerance on the fitted exponent is appropriate.
+    """
+    if measured_exponent is None:
+        return False
+    return abs(analytic_exponent - measured_exponent) <= tolerance

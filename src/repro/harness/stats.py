@@ -1,0 +1,140 @@
+"""Multi-seed replication statistics: means and confidence intervals.
+
+A single seeded run is a point estimate of a stochastic rate; credible
+measurement reports dispersion.  :func:`repeat_experiment` runs the same
+configuration under independent seeds and summarises each rate with its
+sample mean, standard deviation, and Student-t 95% confidence interval —
+the standard discrete-event-simulation methodology.
+
+scipy provides the t quantile when available; a small built-in table covers
+the common sample sizes otherwise, so the module works in minimal installs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+# two-sided 95% t quantiles by degrees of freedom (fallback when scipy is
+# absent); beyond the table the normal quantile is close enough
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131, 20: 2.086,
+    30: 2.042,
+}
+
+
+def t_quantile_95(dof: int) -> float:
+    """Two-sided 95% Student-t quantile for ``dof`` degrees of freedom."""
+    if dof <= 0:
+        raise ConfigurationError("need at least two samples for an interval")
+    try:
+        from scipy import stats as scipy_stats
+
+        return float(scipy_stats.t.ppf(0.975, dof))
+    except Exception:  # scipy unavailable: table + normal tail
+        if dof in _T95:
+            return _T95[dof]
+        for known in sorted(_T95, reverse=True):
+            if dof > known:
+                return _T95[known] if dof < 60 else 1.96
+        return _T95[1]
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """Mean, dispersion, and 95% CI of one rate across seeds."""
+
+    name: str
+    samples: tuple
+    mean: float
+    std: float
+    ci95_half_width: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci95_half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci95_half_width
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def format(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95_half_width:.2g} (95% CI)"
+
+
+def estimate(name: str, samples: Sequence[float]) -> RateEstimate:
+    """Summarise one rate's samples."""
+    n = len(samples)
+    if n < 2:
+        raise ConfigurationError("need >= 2 samples to estimate dispersion")
+    mean = sum(samples) / n
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    std = math.sqrt(variance)
+    half_width = t_quantile_95(n - 1) * std / math.sqrt(n)
+    return RateEstimate(
+        name=name, samples=tuple(samples), mean=mean, std=std,
+        ci95_half_width=half_width,
+    )
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """All rate estimates for one configuration across seeds."""
+
+    config: ExperimentConfig
+    seeds: tuple
+    rates: Dict[str, RateEstimate]
+
+    def __getitem__(self, name: str) -> RateEstimate:
+        return self.rates[name]
+
+    def table_rows(self) -> List[List]:
+        return [
+            [name, est.mean, est.std, est.ci95_half_width]
+            for name, est in sorted(self.rates.items())
+        ]
+
+
+def repeat_experiment(config: ExperimentConfig,
+                      seeds: Sequence[int]) -> SeedStats:
+    """Run ``config`` under each seed and summarise every rate.
+
+    The configuration's own ``seed`` field is ignored; each run uses one of
+    ``seeds``.
+    """
+    if len(seeds) < 2:
+        raise ConfigurationError("repeat_experiment needs >= 2 seeds")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError("seeds must be distinct")
+    per_rate: Dict[str, List[float]] = {}
+    for seed in seeds:
+        run_config = ExperimentConfig(
+            strategy=config.strategy,
+            params=config.params,
+            duration=config.duration,
+            seed=seed,
+            commutative=config.commutative,
+            num_base=config.num_base,
+            acceptance=config.acceptance,
+            rule=config.rule,
+            warmup=config.warmup,
+        )
+        result = run_experiment(run_config)
+        for name, value in result.rates.as_dict().items():
+            if name == "horizon":
+                continue
+            per_rate.setdefault(name, []).append(value)
+    return SeedStats(
+        config=config,
+        seeds=tuple(seeds),
+        rates={name: estimate(name, values)
+               for name, values in per_rate.items()},
+    )

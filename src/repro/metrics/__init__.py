@@ -1,0 +1,15 @@
+"""Measurement: counters, rate computation, and report formatting.
+
+The paper's quantities of interest are *rates* — waits per second, deadlocks
+per second, reconciliations per second — measured system-wide.  A
+:class:`~repro.metrics.counters.Metrics` object accumulates raw counts during
+a simulation; :mod:`repro.metrics.rates` turns counts into rates over the
+measured horizon; :mod:`repro.metrics.report` renders aligned ASCII tables
+used by the benchmark harness.
+"""
+
+from repro.metrics.counters import Metrics
+from repro.metrics.rates import RateSummary, summarize
+from repro.metrics.report import format_table, format_series
+
+__all__ = ["Metrics", "RateSummary", "summarize", "format_table", "format_series"]

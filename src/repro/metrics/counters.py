@@ -1,0 +1,86 @@
+"""Raw event counters collected during a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Metrics:
+    """System-wide counters for one simulation run.
+
+    Counter semantics (all counts, not rates):
+
+    * ``waits`` — lock requests that blocked (the paper's PW events).
+    * ``deadlocks`` — victims aborted by the deadlock detector.
+    * ``reconciliations`` — lazy-group replica updates rejected by the
+      timestamp check (Figure 4: "dangerous" updates needing reconciliation).
+    * ``stale_updates`` — lazy-master replica updates skipped because the
+      replica already had a newer timestamp (harmless, by design).
+    * ``commits`` / ``aborts`` — user transactions (replica-update
+      housekeeping transactions are tracked separately).
+    * ``replica_updates`` — replica-update transactions applied.
+    * ``tentative_committed`` — tentative transactions committed at a mobile
+      node while disconnected (two-tier).
+    * ``tentative_accepted`` / ``tentative_rejected`` — outcomes of base
+      re-execution of tentative transactions (two-tier).
+    * ``actions`` — individual update actions performed anywhere (eq. 8's
+      action rate).
+    * ``restarts`` — deadlock victims resubmitted.
+    """
+
+    waits: int = 0
+    deadlocks: int = 0
+    reconciliations: int = 0
+    stale_updates: int = 0
+    commits: int = 0
+    aborts: int = 0
+    replica_updates: int = 0
+    tentative_committed: int = 0
+    tentative_accepted: int = 0
+    tentative_rejected: int = 0
+    actions: int = 0
+    restarts: int = 0
+    messages: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: float = 1) -> None:
+        """Increment a counter by name (supports ad-hoc ``extra`` counters)."""
+        if hasattr(self, name) and name != "extra":
+            setattr(self, name, getattr(self, name) + amount)
+        else:
+            self.extra[name] = self.extra.get(name, 0) + amount
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat name -> count mapping, including extras."""
+        out = {
+            "waits": self.waits,
+            "deadlocks": self.deadlocks,
+            "reconciliations": self.reconciliations,
+            "stale_updates": self.stale_updates,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "replica_updates": self.replica_updates,
+            "tentative_committed": self.tentative_committed,
+            "tentative_accepted": self.tentative_accepted,
+            "tentative_rejected": self.tentative_rejected,
+            "actions": self.actions,
+            "restarts": self.restarts,
+            "messages": self.messages,
+        }
+        out.update(self.extra)
+        return out
+
+    def merged_with(self, other: "Metrics") -> "Metrics":
+        """Element-wise sum (for aggregating repeated runs)."""
+        merged = Metrics()
+        for name, value in self.as_dict().items():
+            merged.bump(name, value)
+        for name, value in other.as_dict().items():
+            merged.bump(name, value)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        busy = {k: v for k, v in self.as_dict().items() if v}
+        return f"Metrics({busy})"

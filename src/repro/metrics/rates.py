@@ -1,0 +1,55 @@
+"""Turning counters into the per-second rates the paper reasons about."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.counters import Metrics
+
+
+@dataclass(frozen=True)
+class RateSummary:
+    """Per-second rates over a measurement horizon.
+
+    These mirror the paper's left-hand sides: ``wait_rate`` ~ equation 10,
+    ``deadlock_rate`` ~ equations 5/12/19, ``reconciliation_rate`` ~
+    equations 14/18, ``action_rate`` ~ equation 8.
+    """
+
+    horizon: float
+    wait_rate: float
+    deadlock_rate: float
+    reconciliation_rate: float
+    commit_rate: float
+    abort_rate: float
+    action_rate: float
+    tentative_reject_rate: float
+
+    def as_dict(self) -> dict:
+        return {
+            "horizon": self.horizon,
+            "wait_rate": self.wait_rate,
+            "deadlock_rate": self.deadlock_rate,
+            "reconciliation_rate": self.reconciliation_rate,
+            "commit_rate": self.commit_rate,
+            "abort_rate": self.abort_rate,
+            "action_rate": self.action_rate,
+            "tentative_reject_rate": self.tentative_reject_rate,
+        }
+
+
+def summarize(metrics: Metrics, horizon: float) -> RateSummary:
+    """Compute rates for ``metrics`` gathered over ``horizon`` seconds."""
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    return RateSummary(
+        horizon=horizon,
+        wait_rate=metrics.waits / horizon,
+        deadlock_rate=metrics.deadlocks / horizon,
+        reconciliation_rate=metrics.reconciliations / horizon,
+        commit_rate=metrics.commits / horizon,
+        abort_rate=metrics.aborts / horizon,
+        action_rate=metrics.actions / horizon,
+        tentative_reject_rate=metrics.tentative_rejected / horizon,
+    )

@@ -1,0 +1,18 @@
+"""Simulated network: delayed delivery, disconnects, store-and-forward.
+
+The paper's mobile scenario is "a node is disconnected most of the time ...
+when first connected, a mobile node sends and receives deferred replica
+updates".  The :class:`~repro.network.network.Network` models exactly that:
+
+* every message between connected nodes is delivered after
+  ``message_delay`` (Table 2's ``Message_Delay``, which the analytic model
+  sets to zero but the simulator can vary),
+* messages to or from a disconnected node are parked in store-and-forward
+  queues and flushed in order when the node reconnects,
+* an optional per-pair reachability override supports partition experiments.
+"""
+
+from repro.network.message import Message
+from repro.network.network import Network
+
+__all__ = ["Message", "Network"]

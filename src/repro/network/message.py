@@ -1,0 +1,43 @@
+"""Network messages."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One network message.
+
+    Attributes:
+        src: sending node id.
+        dst: receiving node id.
+        kind: short routing tag, e.g. ``"replica-update"`` or ``"rpc"``.
+        payload: arbitrary protocol data.
+        send_time: virtual time the send was issued.
+        deliver_time: virtual time of delivery (set by the network).
+        msg_id: unique id preserving global send order.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def latency(self) -> float:
+        """Delivery latency including any time parked while disconnected."""
+        return self.deliver_time - self.send_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Message #{self.msg_id} {self.kind} {self.src}->{self.dst} "
+            f"@{self.send_time:.4g}>"
+        )

@@ -1,0 +1,40 @@
+"""Replication strategies — the paper's Table 1, executable.
+
+Four baseline strategies span the taxonomy:
+
+* :class:`~repro.replication.eager_group.EagerGroupSystem` — update anywhere,
+  all replicas updated inside the originating transaction (one distributed
+  transaction, N object owners).
+* :class:`~repro.replication.eager_master.EagerMasterSystem` — updates go to
+  each object's master first, still inside one transaction.
+* :class:`~repro.replication.lazy_group.LazyGroupSystem` — update anywhere,
+  commit locally, propagate asynchronously; timestamp mismatches at replicas
+  are *reconciliations* (Figure 4).
+* :class:`~repro.replication.lazy_master.LazyMasterSystem` — updates execute
+  at object masters, then propagate to read-only slaves; stale propagations
+  are suppressed by timestamp, never reconciled.
+
+Supporting modules: :mod:`~repro.replication.reconciliation` (the Oracle-7
+style rule library for resolving lazy-group conflicts),
+:mod:`~repro.replication.quorum` (Gifford weighted voting, used by eager
+systems for availability), and :mod:`~repro.replication.convergent`
+(section 6's Lotus Notes / Microsoft Access convergence schemes).
+
+The proposed two-tier scheme lives in :mod:`repro.core`.
+"""
+
+from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
+from repro.replication.eager_group import EagerGroupSystem
+from repro.replication.eager_master import EagerMasterSystem
+from repro.replication.lazy_group import LazyGroupSystem
+from repro.replication.lazy_master import LazyMasterSystem
+
+__all__ = [
+    "NodeContext",
+    "ReplicatedSystem",
+    "ReplicaUpdate",
+    "EagerGroupSystem",
+    "EagerMasterSystem",
+    "LazyGroupSystem",
+    "LazyMasterSystem",
+]

@@ -1,0 +1,288 @@
+"""Shared machinery for all replicated systems.
+
+A :class:`ReplicatedSystem` owns the engine, the network, the metrics, a
+*global* deadlock detector (eager transactions hold locks at many nodes, so
+waits-for cycles span nodes), and one :class:`NodeContext` per node — the
+node's store, lock manager, WAL, Lamport clock, and transaction manager.
+
+Concrete strategies implement ``_run(origin, ops, label)`` as a generator:
+the full life of one user transaction, from ``begin`` to commit/abort plus
+whatever propagation the strategy prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, DeadlockAbort
+from repro.metrics.counters import Metrics
+from repro.network.message import Message
+from repro.network.network import Network
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.random_source import RandomSource
+from repro.storage.deadlock import DeadlockDetector, youngest_victim
+from repro.storage.lock_manager import LockManager
+from repro.storage.store import ObjectStore, divergence
+from repro.storage.versioning import Timestamp, TimestampGenerator
+from repro.storage.wal import WriteAheadLog
+from repro.txn.manager import TransactionManager
+from repro.txn.ops import Operation
+from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class ReplicaUpdate:
+    """One object update shipped to a replica (the Figure 4 message body).
+
+    ``old_ts`` is the timestamp the root transaction observed before writing;
+    the receiver compares it with the replica's current timestamp to decide
+    whether applying is safe.  ``op`` rides along so commutative-propagation
+    modes can reapply the transformation instead of installing the value.
+    """
+
+    oid: int
+    old_ts: Timestamp
+    new_ts: Timestamp
+    new_value: Any
+    op: Optional[Operation] = None
+    root_txn_id: int = -1  # user transaction this update belongs to
+
+
+@dataclass
+class NodeContext:
+    """Everything one node owns."""
+
+    node_id: int
+    store: ObjectStore
+    locks: LockManager
+    wal: WriteAheadLog
+    clock: TimestampGenerator
+    tm: TransactionManager
+
+
+class ReplicatedSystem:
+    """Base class for the Table 1 strategies.
+
+    Args:
+        num_nodes: nodes, each replicating the whole database.
+        db_size: objects in the database (Table 2's DB_Size).
+        action_time: virtual seconds per update action.
+        message_delay: network propagation delay (0 in the paper's model).
+        seed: master seed for all random streams.
+        lock_reads: take shared locks on reads (full serializability).
+        retry_deadlocks: resubmit user transactions that fall to deadlock
+            (the paper's two-tier base transactions are "resubmitted and
+            reprocessed until [they succeed]"); baseline measurements keep
+            this off so deadlocks surface as failed transactions.
+        max_retries: bound on resubmissions, preventing livelock.
+        victim_policy: deadlock victim selection (ablation hook).
+        initial_value: starting value of every object.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        db_size: int,
+        action_time: float = 0.01,
+        message_delay: float = 0.0,
+        seed: int = 0,
+        lock_reads: bool = False,
+        retry_deadlocks: bool = False,
+        max_retries: int = 25,
+        victim_policy=youngest_victim,
+        initial_value: Any = 0,
+        engine: Optional[Engine] = None,
+        record_history: bool = False,
+        tracer=None,
+    ):
+        if num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
+        self.engine = engine or Engine()
+        self.tracer = tracer  # optional repro.sim.tracing.Tracer
+        if record_history:
+            from repro.verify.history import History
+
+            self.history: Optional["History"] = History()
+        else:
+            self.history = None
+        self.num_nodes = num_nodes
+        self.db_size = db_size
+        self.action_time = action_time
+        self.retry_deadlocks = retry_deadlocks
+        self.max_retries = max_retries
+        self.metrics = Metrics()
+        self.rng = RandomSource(seed)
+        self.detector = DeadlockDetector(victim_policy=victim_policy)
+        self.network = Network(self.engine, num_nodes, message_delay=message_delay)
+        self.nodes: List[NodeContext] = [
+            self._make_node(i, db_size, action_time, lock_reads, initial_value)
+            for i in range(num_nodes)
+        ]
+        for node in self.nodes:
+            self.network.register(node.node_id, self._make_handler(node))
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _make_node(
+        self,
+        node_id: int,
+        db_size: int,
+        action_time: float,
+        lock_reads: bool,
+        initial_value: Any,
+    ) -> NodeContext:
+        store = ObjectStore(node_id, db_size, initial_value=initial_value)
+        locks = LockManager(
+            self.engine,
+            node_id,
+            self.detector,
+            on_wait=self._on_wait,
+            on_deadlock=self._on_deadlock,
+        )
+        wal = WriteAheadLog()
+        clock = TimestampGenerator(node_id)
+        tm = TransactionManager(
+            self.engine,
+            node_id,
+            store,
+            locks,
+            wal,
+            clock,
+            action_time=action_time,
+            lock_reads=lock_reads,
+            history=self.history,
+        )
+        return NodeContext(
+            node_id=node_id, store=store, locks=locks, wal=wal, clock=clock, tm=tm
+        )
+
+    def _make_handler(self, node: NodeContext):
+        def handler(msg: Message):
+            self.metrics.messages += 1
+            return self.handle_message(node, msg)
+
+        return handler
+
+    # ------------------------------------------------------------------ #
+    # metric hooks
+    # ------------------------------------------------------------------ #
+
+    def _trace(self, category: str, **detail) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.engine.now, category, **detail)
+
+    def _on_wait(self, txn: Transaction) -> None:
+        self.metrics.waits += 1
+        self._trace("wait", txn=txn.txn_id)
+
+    def _on_deadlock(self, txn: Transaction) -> None:
+        self.metrics.deadlocks += 1
+        self._trace("deadlock", txn=txn.txn_id)
+
+    # ------------------------------------------------------------------ #
+    # strategy interface
+    # ------------------------------------------------------------------ #
+
+    def submit(self, origin: int, ops: Sequence[Operation], label: str = "") -> Process:
+        """Submit a user transaction at node ``origin``.
+
+        Returns the process running the transaction's full lifecycle; its
+        value is the final :class:`Transaction` object.
+        """
+        return self.engine.process(
+            self._run_with_retries(origin, list(ops), label),
+            name=f"{self.name}-txn@{origin}",
+        )
+
+    def _run_with_retries(self, origin: int, ops: List[Operation], label: str):
+        attempts = 0
+        while True:
+            txn = yield from self._run(origin, ops, label)
+            if txn.state.value != "aborted" or not self.retry_deadlocks:
+                return txn
+            if txn.abort_reason != "deadlock":
+                return txn
+            attempts += 1
+            if attempts > self.max_retries:
+                return txn
+            self.metrics.restarts += 1
+            # brief randomized backoff so the retry does not collide
+            # deterministically with the transaction that killed it
+            backoff = self.rng.stream("retry-backoff").uniform(0, self.action_time * 2)
+            yield self.engine.timeout(backoff)
+
+    def _run(self, origin: int, ops: List[Operation], label: str):
+        """One attempt at the transaction.  Implemented by strategies."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def handle_message(self, node: NodeContext, msg: Message):
+        """Process an incoming network message at ``node``.
+
+        May return a generator, which the network runs as a process.
+        """
+        raise NotImplementedError(f"{self.name} received unexpected {msg.kind}")
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _execute_local(self, node: NodeContext, txn: Transaction,
+                       ops: Sequence[Operation]):
+        """Run ``ops`` for ``txn`` at one node, counting actions."""
+        for op in ops:
+            yield from node.tm.execute(txn, op)
+            if not op.is_read:
+                self.metrics.actions += 1
+
+    def _abort_everywhere(self, txn: Transaction, nodes: Sequence[NodeContext],
+                          reason: str) -> None:
+        txn.mark_aborted(self.engine.now, reason=reason)
+        for node in nodes:
+            node.tm.finish_abort_local(txn)
+        self.metrics.aborts += 1
+        self._trace("abort", txn=txn.txn_id, reason=reason)
+
+    def _commit_everywhere(self, txn: Transaction,
+                           nodes: Sequence[NodeContext]) -> None:
+        txn.mark_committed(self.engine.now)
+        for node in nodes:
+            node.tm.finish_commit_local(txn)
+        self.metrics.commits += 1
+        if self.history is not None:
+            self.history.mark_committed(txn.txn_id)
+        self._trace("commit", txn=txn.txn_id, origin=txn.origin_node)
+
+    # ------------------------------------------------------------------ #
+    # observation
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation (delegates to the engine)."""
+        return self.engine.run(until=until)
+
+    def quiesce(self, max_time: float = 1e9) -> float:
+        """Run until no events remain (all propagation drained)."""
+        return self.engine.run(until=None if self.engine.peek() else max_time)
+
+    def divergence(self) -> int:
+        """Objects whose value differs across nodes (system delusion)."""
+        return divergence(node.store for node in self.nodes)
+
+    def converged(self) -> bool:
+        return self.divergence() == 0
+
+    def snapshot(self, node_id: int = 0) -> Dict[int, Any]:
+        return self.nodes[node_id].store.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} nodes={self.num_nodes} "
+            f"db={self.db_size} t={self.engine.now:.4g}>"
+        )

@@ -1,0 +1,219 @@
+"""Non-transactional convergent replication — the paper's section 6.
+
+"One strategy is to abandon serializability for the convergence property: if
+no new transactions arrive, and if all the nodes are connected together,
+they will all converge to the same replicated state after exchanging replica
+updates. The resulting state contains the committed appends, and the most
+recent replacements, but updates may be lost."
+
+Three update forms are implemented, mirroring Lotus Notes plus the
+commutative third form the paper proposes:
+
+1. **Timestamped append** — notes accumulate in timestamp order; converges
+   and loses nothing (the set union of appends is order-independent).
+2. **Timestamped replace** — last timestamp wins; converges but **loses
+   updates** (the checkbook lost-update problem).
+3. **Commutative increment** — transformations applied in any order;
+   converges without losing effects.
+
+Replicas synchronize pairwise on demand (Microsoft Access style: "These
+version vectors are exchanged on demand or periodically. The most recent
+update wins each pairwise exchange. Rejected updates are reported."), with
+version vectors distinguishing genuinely concurrent replaces (a *conflict*,
+one side's update lost) from stale echoes (harmless).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.storage.versioning import Timestamp, VersionVector
+
+
+@dataclass(frozen=True)
+class Note:
+    """An appended item (Lotus Notes append form).  Ordered by timestamp."""
+
+    ts: Timestamp
+    body: Any
+
+
+@dataclass
+class ConvergentRecord:
+    """One object's state at one replica."""
+
+    oid: int
+    value: Any = 0
+    ts: Timestamp = Timestamp.ZERO
+    vector: VersionVector = field(default_factory=VersionVector)
+    notes: Tuple[Note, ...] = ()
+    increments: Dict[Timestamp, float] = field(default_factory=dict)
+
+    def materialized(self) -> Any:
+        """Replace-value plus the sum of all witnessed increments.
+
+        Objects that never received an increment keep their raw value, so
+        non-numeric values (titles, tuples) pass through untouched.
+        """
+        if not self.increments:
+            return self.value
+        return self.value + sum(self.increments.values())
+
+
+class ConvergentReplica:
+    """One replica in a section-6 style convergent system."""
+
+    def __init__(self, node_id: int, db_size: int, initial_value: Any = 0):
+        if db_size <= 0:
+            raise ConfigurationError("db_size must be positive")
+        self.node_id = node_id
+        self.db_size = db_size
+        self._counter = itertools.count(1)
+        self.records: Dict[int, ConvergentRecord] = {
+            oid: ConvergentRecord(oid=oid, value=initial_value)
+            for oid in range(db_size)
+        }
+        self.lost_updates = 0
+        self.conflicts_reported: List[Tuple[int, Timestamp, Timestamp]] = []
+
+    def _tick(self) -> Timestamp:
+        return Timestamp(next(self._counter), self.node_id)
+
+    def _witness(self, ts: Timestamp) -> None:
+        current = next(self._counter)
+        if ts.counter >= current:
+            self._counter = itertools.count(ts.counter + 1)
+        else:
+            self._counter = itertools.count(current)
+
+    # ------------------------------------------------------------------ #
+    # local update forms
+    # ------------------------------------------------------------------ #
+
+    def replace(self, oid: int, value: Any) -> Timestamp:
+        """Form 2: timestamped replace."""
+        record = self.records[oid]
+        ts = self._tick()
+        record.value = value
+        record.ts = ts
+        record.vector = record.vector.bump(self.node_id)
+        return ts
+
+    def append(self, oid: int, body: Any) -> Timestamp:
+        """Form 1: timestamped append (notes stored in timestamp order)."""
+        record = self.records[oid]
+        ts = self._tick()
+        record.notes = tuple(sorted(record.notes + (Note(ts, body),),
+                                    key=lambda n: n.ts))
+        record.vector = record.vector.bump(self.node_id)
+        return ts
+
+    def increment(self, oid: int, delta: float) -> Timestamp:
+        """Form 3: commutative increment, keyed by unique timestamp so
+        re-delivery is idempotent."""
+        record = self.records[oid]
+        ts = self._tick()
+        record.increments[ts] = delta
+        record.vector = record.vector.bump(self.node_id)
+        return ts
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def value(self, oid: int) -> Any:
+        return self.records[oid].materialized()
+
+    def notes(self, oid: int) -> Tuple[Note, ...]:
+        return self.records[oid].notes
+
+    # ------------------------------------------------------------------ #
+    # pairwise synchronization
+    # ------------------------------------------------------------------ #
+
+    def sync_from(self, other: "ConvergentReplica") -> int:
+        """Pull ``other``'s state into this replica (one direction).
+
+        Returns the number of objects whose state changed here.  Concurrent
+        replaces (version vectors incomparable) are resolved by timestamp —
+        the losing side's update is *lost* and counted/reported, exactly the
+        behaviour the paper criticises in pure-timestamp schemes.
+        """
+        changed = 0
+        for oid, theirs in other.records.items():
+            mine = self.records[oid]
+            before = (mine.value, mine.ts, mine.notes, dict(mine.increments))
+
+            # appends and increments: pure unions, never conflict
+            merged_notes = {note.ts: note for note in mine.notes}
+            for note in theirs.notes:
+                merged_notes.setdefault(note.ts, note)
+            mine.notes = tuple(sorted(merged_notes.values(), key=lambda n: n.ts))
+            for ts, delta in theirs.increments.items():
+                mine.increments.setdefault(ts, delta)
+
+            # replace: most recent timestamp wins the pairwise exchange
+            if theirs.ts > mine.ts:
+                concurrent = mine.vector.concurrent_with(theirs.vector)
+                if concurrent and mine.ts != Timestamp.ZERO:
+                    # my committed replace is overwritten: lost update
+                    self.lost_updates += 1
+                    self.conflicts_reported.append((oid, mine.ts, theirs.ts))
+                mine.value = theirs.value
+                mine.ts = theirs.ts
+                self._witness(theirs.ts)
+            mine.vector = mine.vector.merge(theirs.vector)
+
+            after = (mine.value, mine.ts, mine.notes, dict(mine.increments))
+            if after != before:
+                changed += 1
+        return changed
+
+    def snapshot(self) -> Dict[int, Any]:
+        return {oid: rec.materialized() for oid, rec in self.records.items()}
+
+
+def exchange(a: ConvergentReplica, b: ConvergentReplica) -> None:
+    """One bidirectional Access-style exchange between two replicas."""
+    a.sync_from(b)
+    b.sync_from(a)
+
+
+def fully_sync(replicas: List[ConvergentReplica], rounds: Optional[int] = None) -> int:
+    """Gossip every pair until quiescent (or for a fixed number of rounds).
+
+    Returns the number of rounds performed.  With all nodes connected this
+    converges — the paper's convergence property — in at most
+    ``ceil(log2(len(replicas)))`` all-pairs rounds; we just iterate until a
+    full round changes nothing.
+    """
+    if rounds is not None:
+        for _ in range(rounds):
+            for a, b in itertools.combinations(replicas, 2):
+                exchange(a, b)
+        return rounds
+    performed = 0
+    while True:
+        performed += 1
+        changed = 0
+        for a, b in itertools.combinations(replicas, 2):
+            changed += a.sync_from(b)
+            changed += b.sync_from(a)
+        if changed == 0:
+            return performed
+
+
+def diverged_objects(replicas: List[ConvergentReplica]) -> int:
+    """Objects whose materialized value differs across replicas."""
+    if len(replicas) < 2:
+        return 0
+    first = replicas[0].snapshot()
+    rest = [r.snapshot() for r in replicas[1:]]
+    return sum(
+        1
+        for oid, val in first.items()
+        if any(snap[oid] != val for snap in rest)
+    )

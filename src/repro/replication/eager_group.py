@@ -1,0 +1,189 @@
+"""Eager group replication: update anywhere, synchronously, everywhere.
+
+Figure 1's "three-node eager transaction": each action is applied at every
+replica *inside* the originating transaction, so the transaction holds locks
+at all nodes, its size is ``Actions x Nodes``, and its duration stretches to
+``Actions x Nodes x Action_Time`` (equation 6).  Deadlocks — including
+cross-node cycles — are the failure mode; there are never reconciliations.
+
+Availability: "Simple eager replication systems prohibit updates if any node
+is disconnected. For high availability, eager replication systems allow
+updates among members of the quorum" — pass ``quorum=True`` to update the
+connected majority and let disconnected nodes catch up through the network's
+store-and-forward queues when they return.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import DeadlockAbort, MasterUnavailableError
+from repro.network.message import Message
+from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
+from repro.replication.quorum import QuorumConfig
+from repro.txn.ops import Operation
+from repro.txn.transaction import Transaction
+
+
+class EagerGroupSystem(ReplicatedSystem):
+    """Update-anywhere eager replication (Table 1: eager / group).
+
+    Args:
+        quorum: allow updates among a connected majority (Gifford voting).
+        parallel_updates: footnote 2's alternate model — each action is
+            broadcast to all replicas *in parallel*, so per-action elapsed
+            time stays ``Action_Time`` regardless of N and the deadlock
+            explosion drops from cubic to quadratic (see
+            :func:`repro.analytic.eager.parallel_update_deadlock_rate`).
+    """
+
+    name = "eager-group"
+
+    def __init__(self, *args, quorum: bool = False,
+                 parallel_updates: bool = False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.quorum_enabled = quorum
+        self.quorum_config = QuorumConfig.majority(self.num_nodes)
+        self.parallel_updates = parallel_updates
+        self.blocked_by_disconnect = 0
+
+    # ------------------------------------------------------------------ #
+    # transaction execution
+    # ------------------------------------------------------------------ #
+
+    def _run(self, origin: int, ops: List[Operation], label: str):
+        participants = self._participants(origin)
+        if participants is None:
+            # cannot form a quorum (or, without quorums, somebody is down)
+            self.blocked_by_disconnect += 1
+            txn = self.nodes[origin].tm.begin(label=label)
+            self._abort_everywhere(txn, [], reason="no-quorum")
+            return txn
+
+        txn = self.nodes[origin].tm.begin(label=label)
+        # the origin is always in the release set: serializable reads take
+        # shared locks there even when the transaction writes elsewhere
+        touched: List[NodeContext] = [self.nodes[origin]]
+        try:
+            for op in ops:
+                if op.is_read:
+                    yield from self.nodes[origin].tm.execute(txn, op)
+                    continue
+                for node in participants:
+                    if node not in touched:
+                        touched.append(node)
+                if self.parallel_updates:
+                    yield from self._apply_parallel(txn, op, participants)
+                else:
+                    # Figure 1: Write A at every node, then Write B at every
+                    # node, ... — sequential replica updates, origin first.
+                    for node in participants:
+                        yield from node.tm.execute(txn, op)
+                        self.metrics.actions += 1
+        except DeadlockAbort:
+            self._abort_everywhere(txn, touched, reason="deadlock")
+            return txn
+        self._commit_everywhere(txn, touched)
+        self._send_catchup(origin, txn, participants)
+        return txn
+
+    def _apply_parallel(self, txn: Transaction, op, participants):
+        """Footnote 2: broadcast one action to every replica at once.
+
+        All replica updates for this action run as concurrent processes; the
+        action's elapsed time is the slowest replica (``Action_Time`` plus
+        any lock waits), not the sum.  A deadlock at any replica aborts the
+        whole transaction: the abort path releases locks and fails the
+        sibling updates' queued requests, so no straggler leaks.
+        """
+        def replica_update(node: NodeContext):
+            yield from node.tm.execute(txn, op)
+            self.metrics.actions += 1
+
+        processes = [
+            self.engine.process(
+                replica_update(node), name=f"parallel-{txn.txn_id}@{node.node_id}"
+            )
+            for node in participants
+        ]
+        for process in processes:
+            yield process  # re-raises DeadlockAbort from any replica
+
+    def _participants(self, origin: int) -> List[NodeContext] | None:
+        """Replicas updated synchronously, or None if the update must fail."""
+        connected = [
+            node for node in self.nodes if self.network.is_connected(node.node_id)
+        ]
+        if not self.network.is_connected(origin):
+            return None
+        if len(connected) == self.num_nodes:
+            ordered = [self.nodes[origin]] + [
+                n for n in self.nodes if n.node_id != origin
+            ]
+            return ordered
+        if not self.quorum_enabled:
+            return None
+        if not self.quorum_config.is_write_quorum(len(connected)):
+            return None
+        ordered = [self.nodes[origin]] + [
+            n for n in connected if n.node_id != origin
+        ]
+        return ordered
+
+    # ------------------------------------------------------------------ #
+    # quorum catch-up
+    # ------------------------------------------------------------------ #
+
+    def _send_catchup(self, origin: int, txn: Transaction,
+                      participants: Sequence[NodeContext]) -> None:
+        """Queue committed updates for replicas outside the write quorum.
+
+        "When a node joins the quorum, the quorum sends the new node all
+        replica updates since the node was disconnected."  The network's
+        store-and-forward queues deliver these on reconnect.
+        """
+        if len(participants) == self.num_nodes:
+            return
+        participant_ids = {node.node_id for node in participants}
+        updates = [
+            ReplicaUpdate(
+                oid=u.oid,
+                old_ts=u.old_ts,
+                new_ts=u.new_ts,
+                new_value=u.new_value,
+                op=u.op,
+                root_txn_id=txn.txn_id,
+            )
+            for u in txn.updates
+        ]
+        for node in self.nodes:
+            if node.node_id in participant_ids:
+                continue
+            self.network.send(origin, node.node_id, "catchup", updates)
+
+    def handle_message(self, node: NodeContext, msg: Message):
+        if msg.kind != "catchup":
+            raise MasterUnavailableError(f"unexpected message {msg.kind}")
+        return self._apply_catchup(node, msg.payload)
+
+    def _apply_catchup(self, node: NodeContext, updates: List[ReplicaUpdate]):
+        """Install quorum catch-up updates as a housekeeping transaction."""
+        txn = node.tm.begin(label="catchup")
+        try:
+            for update in updates:
+                if node.store.timestamp(update.oid) >= update.new_ts:
+                    self.metrics.stale_updates += 1
+                    continue
+                yield from node.tm.execute_install(
+                    txn, update.oid, update.new_value, update.new_ts,
+                    root_txn_id=(
+                        update.root_txn_id if update.root_txn_id >= 0 else None
+                    ),
+                )
+                self.metrics.actions += 1
+            node.tm.commit(txn)
+            self.metrics.replica_updates += 1
+        except DeadlockAbort:
+            node.tm.abort(txn, reason="deadlock")
+            # housekeeping transactions restart transparently
+            self.network.send(node.node_id, node.node_id, "catchup", updates)

@@ -1,0 +1,180 @@
+"""Lazy group replication: update anywhere, propagate asynchronously.
+
+Figure 1's "three-node lazy transaction (actually 3 transactions)": the root
+transaction commits locally, then one replica-update transaction per remote
+node carries the new values, each tagged with the *old* object timestamp the
+root saw (Figure 4).  A receiver whose replica timestamp no longer matches
+has detected two transactions racing — that update is "dangerous" and counts
+as a **reconciliation**, resolved by a pluggable
+:class:`~repro.replication.reconciliation.ReconciliationRule`.
+
+Modes:
+
+* default — ship values; conflicts resolved by the rule (timestamp wins by
+  default: converges but loses updates);
+* ``propagate_ops=True`` — ship the operations themselves so commutative
+  workloads merge instead of losing updates (the section 6 "commutative
+  updates" transaction form).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.exceptions import DeadlockAbort, ReplicationError
+from repro.network.message import Message
+from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
+from repro.replication.reconciliation import (
+    Outcome,
+    ReconciliationRule,
+    default_rule,
+)
+from repro.storage.lock_manager import LockMode
+from repro.txn.ops import Operation
+
+
+class LazyGroupSystem(ReplicatedSystem):
+    """Update-anywhere lazy replication (Table 1: lazy / group)."""
+
+    name = "lazy-group"
+
+    def __init__(
+        self,
+        *args,
+        rule: Optional[ReconciliationRule] = None,
+        propagate_ops: bool = False,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.rule = rule if rule is not None else default_rule()
+        self.propagate_ops = propagate_ops
+        self.replica_updates_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # root transaction
+    # ------------------------------------------------------------------ #
+
+    def _run(self, origin: int, ops: List[Operation], label: str):
+        node = self.nodes[origin]
+        txn = node.tm.begin(label=label)
+        try:
+            yield from self._execute_local(node, txn, ops)
+        except DeadlockAbort:
+            node.tm.finish_abort_local(txn)
+            txn.mark_aborted(self.engine.now, reason="deadlock")
+            self.metrics.aborts += 1
+            return txn
+        txn.mark_committed(self.engine.now)
+        node.tm.finish_commit_local(txn)
+        self.metrics.commits += 1
+        if self.history is not None:
+            self.history.mark_committed(txn.txn_id)
+        self._trace("commit", txn=txn.txn_id, origin=txn.origin_node)
+        self._propagate(origin, txn)
+        return txn
+
+    def _propagate(self, origin: int, txn) -> None:
+        """One lazy replica-update transaction per remote node (Figure 1)."""
+        if not txn.updates:
+            return
+        updates = [
+            ReplicaUpdate(
+                oid=u.oid,
+                old_ts=u.old_ts,
+                new_ts=u.new_ts,
+                new_value=u.new_value,
+                op=u.op,
+                root_txn_id=txn.txn_id,
+            )
+            for u in txn.updates
+        ]
+        for node in self.nodes:
+            if node.node_id == origin:
+                continue
+            self.network.send(
+                origin, node.node_id, "replica-update", (updates, 0)
+            )
+
+    # ------------------------------------------------------------------ #
+    # replica application
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, node: NodeContext, msg: Message):
+        if msg.kind != "replica-update":
+            raise ReplicationError(f"lazy-group got unexpected {msg.kind}")
+        updates, attempt = msg.payload
+        return self._apply_replica_updates(node, updates, attempt)
+
+    def _apply_replica_updates(
+        self, node: NodeContext, updates: List[ReplicaUpdate], attempt: int
+    ):
+        """Apply one replica-update transaction, counting reconciliations.
+
+        Figure 4's test: if the local replica's timestamp equals the update's
+        old timestamp, the update is safe; otherwise it is dangerous and the
+        reconciliation rule decides its fate.
+        """
+        txn = node.tm.begin(label="replica-update")
+        try:
+            for update in updates:
+                event = node.locks.acquire(txn, update.oid, LockMode.EXCLUSIVE)
+                if event is not None:
+                    yield event
+                    txn.require_active()
+                local = node.store.read(update.oid)
+                if local.ts == update.new_ts:
+                    continue  # duplicate delivery; already applied
+                if local.ts == update.old_ts:
+                    # safe: replica exactly at the version the root saw
+                    yield from self._apply(node, txn, update, merge=False)
+                    continue
+                self.metrics.reconciliations += 1
+                outcome = self.rule.resolve(local, update)
+                self._trace(
+                    "reconcile", node=node.node_id, oid=update.oid,
+                    txn=update.root_txn_id, outcome=outcome.value,
+                )
+                if outcome is Outcome.APPLY:
+                    yield from self._apply(node, txn, update, merge=False)
+                elif outcome is Outcome.MERGE:
+                    yield from self._apply(node, txn, update, merge=True)
+                else:
+                    # DISCARD and DEFER keep the local version; DEFER
+                    # represents an unresolved conflict awaiting a human
+                    # (system delusion shows up as divergence in the
+                    # end-state check).  Either way the rejection itself is
+                    # recorded as precedence evidence for the verifier.
+                    if self.history is not None and update.root_txn_id >= 0:
+                        self.history.record_conflict(
+                            node.node_id, update.root_txn_id, update.oid
+                        )
+            node.tm.commit(txn)
+            self.metrics.replica_updates += 1
+        except DeadlockAbort:
+            node.tm.abort(txn, reason="deadlock")
+            if attempt < self.max_retries:
+                self.metrics.restarts += 1
+                self.network.send(
+                    node.node_id, node.node_id, "replica-update",
+                    (updates, attempt + 1),
+                )
+            else:
+                self.replica_updates_dropped += 1
+
+    def _apply(self, node: NodeContext, txn, update: ReplicaUpdate, merge: bool):
+        root = update.root_txn_id if update.root_txn_id >= 0 else None
+        wants_transform = merge or (
+            self.propagate_ops
+            and update.op is not None
+            and update.op.commutative
+        )
+        if wants_transform and update.op is not None:
+            yield from node.tm.execute_transform(
+                txn, update.op, update.new_ts, root_txn_id=root
+            )
+        else:
+            yield from node.tm.execute_install(
+                txn, update.oid, update.new_value, update.new_ts,
+                root_txn_id=root,
+            )
+        self.metrics.actions += 1

@@ -1,0 +1,215 @@
+"""Lazy master replication: masters serialize, slaves follow.
+
+Section 5: "Master replication assigns an owner to each object... Updates
+are first done by the owner and then propagated to other replicas."  The
+root transaction executes against *master copies* (an RPC per remote-owned
+object), commits, and then "the node originating the transaction broadcasts
+the replica updates to all the slave replicas".
+
+Slave updates are timestamped so replicas converge: "If the record timestamp
+is newer than a replica update timestamp, the update is 'stale' and can be
+ignored."  Lazy master therefore has **no reconciliations** — conflicts
+surface as waits/deadlocks on the master copies (equation 19) and stale
+propagations are silently suppressed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import DeadlockAbort, MasterUnavailableError, ReplicationError
+from repro.network.message import Message
+from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
+from repro.replication.eager_master import round_robin_ownership
+from repro.storage.lock_manager import LockMode
+from repro.txn.ops import Operation
+
+
+class LazyMasterSystem(ReplicatedSystem):
+    """Master-owned lazy replication (Table 1: lazy / master).
+
+    Args:
+        ownership: map oid -> master node id (default round-robin).
+        require_connected_masters: when True (default), a transaction whose
+            object masters are unreachable aborts immediately — "A node
+            wanting to update an object must be connected to the object
+            owner" — which is exactly why lazy master alone cannot serve
+            mobile nodes.
+        master_broadcasts: choose between the paper's two propagation
+            designs.  False (default): "the node originating the transaction
+            broadcasts the replica updates to all the slave replicas after
+            the master transaction commits."  True: "Alternatively, each
+            master node sends replica updates to slaves in sequential commit
+            order" — each owner ships the updates for the objects it
+            masters, so one FIFO stream per master guarantees in-order
+            arrival and no stale suppressions on that stream.
+    """
+
+    name = "lazy-master"
+
+    def __init__(
+        self,
+        *args,
+        ownership: Optional[Dict[int, int]] = None,
+        require_connected_masters: bool = True,
+        master_broadcasts: bool = False,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.ownership = (
+            dict(ownership)
+            if ownership is not None
+            else round_robin_ownership(self.db_size, self.num_nodes)
+        )
+        self.require_connected_masters = require_connected_masters
+        self.master_broadcasts = master_broadcasts
+        self.blocked_by_disconnect = 0
+
+    def master_of(self, oid: int) -> NodeContext:
+        return self.nodes[self.ownership[oid]]
+
+    # ------------------------------------------------------------------ #
+    # root (master) transaction
+    # ------------------------------------------------------------------ #
+
+    def _run(self, origin: int, ops: List[Operation], label: str):
+        masters_needed = {
+            self.ownership[op.oid] for op in ops if not op.is_read
+        }
+        if self.require_connected_masters and not self._reachable(
+            origin, masters_needed
+        ):
+            self.blocked_by_disconnect += 1
+            txn = self.nodes[origin].tm.begin(label=label)
+            self._abort_everywhere(txn, [], reason="master-unreachable")
+            return txn
+
+        txn = self.nodes[origin].tm.begin(label=label)
+        involved: List[NodeContext] = []
+        try:
+            for op in ops:
+                master = self.master_of(op.oid)
+                if op.is_read:
+                    # committed-read at the local replica unless read locks
+                    # are on, in which case the read-lock RPC goes to the
+                    # master ("a read action should send read-lock RPCs to
+                    # the masters of any objects it reads").
+                    if self.nodes[origin].tm.lock_reads:
+                        target = master
+                        if target not in involved:
+                            involved.append(target)  # S locks need releasing
+                    else:
+                        target = self.nodes[origin]
+                    yield from target.tm.execute(txn, op)
+                    continue
+                if (
+                    master.node_id != origin
+                    and self.network.message_delay > 0
+                ):
+                    # RPC round to the owner
+                    yield self.engine.timeout(self.network.message_delay)
+                if master not in involved:
+                    involved.append(master)
+                yield from master.tm.execute(txn, op)
+                self.metrics.actions += 1
+        except DeadlockAbort:
+            self._abort_everywhere(txn, involved, reason="deadlock")
+            return txn
+        self._commit_everywhere(txn, involved)
+        self._propagate_to_slaves(origin, txn)
+        return txn
+
+    def _reachable(self, origin: int, masters: set) -> bool:
+        if not self.network.is_connected(origin):
+            return False
+        return all(self.network.is_connected(m) for m in masters)
+
+    def _propagate_to_slaves(self, origin: int, txn) -> None:
+        """Ship committed master updates to every other replica.
+
+        Default: one broadcast from the originator per destination.  With
+        ``master_broadcasts``: each object's master sends its own slice, so
+        every (master, slave) pair is a FIFO commit-order stream.
+        """
+        if not txn.updates:
+            return
+        updates = [
+            ReplicaUpdate(
+                oid=u.oid,
+                old_ts=u.old_ts,
+                new_ts=u.new_ts,
+                new_value=u.new_value,
+                op=u.op,
+                root_txn_id=txn.txn_id,
+            )
+            for u in txn.updates
+        ]
+        for node in self.nodes:
+            # a node that masters every written object is already current;
+            # everyone else (including the originator, for remote-mastered
+            # objects) gets a slave refresh — N transactions total (Table 1)
+            needed = [
+                u for u in updates if self.ownership[u.oid] != node.node_id
+            ]
+            if not needed:
+                continue
+            if self.master_broadcasts:
+                by_master: Dict[int, List[ReplicaUpdate]] = {}
+                for update in needed:
+                    by_master.setdefault(
+                        self.ownership[update.oid], []
+                    ).append(update)
+                for master_id, slice_updates in by_master.items():
+                    self.network.send(
+                        master_id, node.node_id, "slave-update",
+                        (slice_updates, 0),
+                    )
+            else:
+                self.network.send(
+                    origin, node.node_id, "slave-update", (needed, 0)
+                )
+
+    # ------------------------------------------------------------------ #
+    # slave application
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, node: NodeContext, msg: Message):
+        if msg.kind != "slave-update":
+            raise ReplicationError(f"lazy-master got unexpected {msg.kind}")
+        updates, attempt = msg.payload
+        return self._apply_slave_updates(node, updates, attempt)
+
+    def _apply_slave_updates(
+        self, node: NodeContext, updates: List[ReplicaUpdate], attempt: int
+    ):
+        txn = node.tm.begin(label="slave-update")
+        try:
+            for update in updates:
+                if self.ownership[update.oid] == node.node_id:
+                    continue  # master copy is the source of truth already
+                event = node.locks.acquire(txn, update.oid, LockMode.EXCLUSIVE)
+                if event is not None:
+                    yield event
+                    txn.require_active()
+                local = node.store.read(update.oid)
+                if local.ts >= update.new_ts:
+                    if local.ts != update.new_ts:
+                        self.metrics.stale_updates += 1
+                    continue
+                yield from node.tm.execute_install(
+                    txn, update.oid, update.new_value, update.new_ts,
+                    root_txn_id=(
+                        update.root_txn_id if update.root_txn_id >= 0 else None
+                    ),
+                )
+                self.metrics.actions += 1
+            node.tm.commit(txn)
+            self.metrics.replica_updates += 1
+        except DeadlockAbort:
+            node.tm.abort(txn, reason="deadlock")
+            if attempt < self.max_retries:
+                self.metrics.restarts += 1
+                self.network.send(
+                    node.node_id, node.node_id, "slave-update",
+                    (updates, attempt + 1),
+                )

@@ -1,0 +1,160 @@
+"""Weighted voting / quorum consensus (Gifford 1979).
+
+Section 3: "For high availability, eager replication systems allow updates
+among members of the quorum or cluster [Gifford], [Garcia-Molina]."  This
+module implements the vote arithmetic those schemes rest on:
+
+* every replica holds a number of *votes*;
+* a read needs a read quorum ``r``, a write needs a write quorum ``w``;
+* correctness requires ``r + w > V`` (every read quorum intersects every
+  write quorum) and ``w > V/2`` (two write quorums always intersect).
+
+:class:`QuorumConfig` validates those invariants, answers "is this set of
+live replicas a quorum?", and computes the availability probability of a
+configuration given independent node up-probabilities — useful for the
+availability-versus-consistency trade-off experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """A weighted-voting configuration.
+
+    Attributes:
+        votes: votes held by each replica, indexed by node id.
+        read_quorum: votes needed to read (``r``).
+        write_quorum: votes needed to write (``w``).
+    """
+
+    votes: Tuple[int, ...]
+    read_quorum: int
+    write_quorum: int
+
+    def __post_init__(self) -> None:
+        if not self.votes:
+            raise ConfigurationError("quorum needs at least one replica")
+        if any(v < 0 for v in self.votes):
+            raise ConfigurationError("votes must be non-negative")
+        total = self.total_votes
+        if total <= 0:
+            raise ConfigurationError("total votes must be positive")
+        if self.read_quorum + self.write_quorum <= total:
+            raise ConfigurationError(
+                f"r + w must exceed V: {self.read_quorum} + "
+                f"{self.write_quorum} <= {total}"
+            )
+        if 2 * self.write_quorum <= total:
+            raise ConfigurationError(
+                f"2w must exceed V: 2*{self.write_quorum} <= {total}"
+            )
+        if not (0 < self.read_quorum <= total and 0 < self.write_quorum <= total):
+            raise ConfigurationError("quorums must be in (0, V]")
+
+    @property
+    def total_votes(self) -> int:
+        return sum(self.votes)
+
+    @classmethod
+    def majority(cls, num_nodes: int) -> "QuorumConfig":
+        """One vote per node, read and write both require a strict majority."""
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        quorum = num_nodes // 2 + 1
+        return cls(votes=tuple([1] * num_nodes), read_quorum=quorum,
+                   write_quorum=quorum)
+
+    @classmethod
+    def read_one_write_all(cls, num_nodes: int) -> "QuorumConfig":
+        """ROWA: reads touch any single replica, writes touch all."""
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        return cls(votes=tuple([1] * num_nodes), read_quorum=1,
+                   write_quorum=num_nodes)
+
+    # ------------------------------------------------------------------ #
+    # quorum membership
+    # ------------------------------------------------------------------ #
+
+    def votes_of(self, nodes: Iterable[int]) -> int:
+        return sum(self.votes[n] for n in nodes)
+
+    def is_read_quorum(self, live: int | Iterable[int]) -> bool:
+        """``live`` is either a vote count (uniform votes) or a node set."""
+        return self._count(live) >= self.read_quorum
+
+    def is_write_quorum(self, live: int | Iterable[int]) -> bool:
+        return self._count(live) >= self.write_quorum
+
+    def _count(self, live: int | Iterable[int]) -> int:
+        if isinstance(live, int):
+            return live
+        return self.votes_of(live)
+
+    # ------------------------------------------------------------------ #
+    # availability analysis
+    # ------------------------------------------------------------------ #
+
+    def write_availability(self, up_probability: float) -> float:
+        """Probability a write quorum exists with i.i.d. node availability.
+
+        Exact enumeration over up/down subsets — configurations here are
+        small (the paper's experiments use <= ~32 nodes, enumeration over
+        subsets of distinct vote weights stays tractable because uniform
+        votes reduce to a binomial sum).
+        """
+        if not 0.0 <= up_probability <= 1.0:
+            raise ConfigurationError("up_probability must be in [0, 1]")
+        if len(set(self.votes)) == 1:
+            return self._uniform_availability(up_probability, self.write_quorum)
+        return self._subset_availability(up_probability, self.write_quorum)
+
+    def read_availability(self, up_probability: float) -> float:
+        """Probability a read quorum exists with i.i.d. node availability."""
+        if not 0.0 <= up_probability <= 1.0:
+            raise ConfigurationError("up_probability must be in [0, 1]")
+        if len(set(self.votes)) == 1:
+            return self._uniform_availability(up_probability, self.read_quorum)
+        return self._subset_availability(up_probability, self.read_quorum)
+
+    def _uniform_availability(self, p: float, quorum: int) -> float:
+        from math import comb
+
+        n = len(self.votes)
+        weight = self.votes[0]
+        needed = -(-quorum // weight)  # ceil division: nodes needed
+        return sum(
+            comb(n, k) * p**k * (1 - p) ** (n - k) for k in range(needed, n + 1)
+        )
+
+    def _subset_availability(self, p: float, quorum: int) -> float:
+        n = len(self.votes)
+        total = 0.0
+        for k in range(n + 1):
+            for subset in combinations(range(n), k):
+                if self.votes_of(subset) >= quorum:
+                    total += p**k * (1 - p) ** (n - k)
+        return total
+
+
+def best_majority_votes(weights: Sequence[float]) -> Dict[int, int]:
+    """Gifford-style vote assignment proportional to replica reliability.
+
+    A pragmatic heuristic: scale reliabilities to small integer votes (most
+    reliable node gets the most votes), guaranteeing a positive total.
+    """
+    if not weights:
+        raise ConfigurationError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise ConfigurationError("weights must be non-negative")
+    top = max(weights)
+    if top == 0:
+        return {i: 1 for i in range(len(weights))}
+    return {i: max(1, round(3 * w / top)) for i, w in enumerate(weights)}

@@ -1,0 +1,205 @@
+"""The discrete-event simulation engine.
+
+The engine owns a virtual clock and a priority queue of scheduled callbacks.
+Processes (generators) yield :class:`~repro.sim.events.Timeout`,
+:class:`~repro.sim.events.SimEvent`, or :class:`~repro.sim.process.Process`
+objects; the engine resumes them when the awaited thing happens.
+
+Events scheduled for the same instant run in FIFO order (a monotonically
+increasing sequence number breaks ties), which makes every run fully
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.sim.events import SimEvent, Timeout, TimerEvent
+from repro.sim.process import Process
+
+
+class Engine:
+    """A deterministic discrete-event simulator.
+
+    Example::
+
+        engine = Engine()
+
+        def worker():
+            yield engine.timeout(2.0)
+            return "done"
+
+        proc = engine.process(worker())
+        engine.run()
+        assert proc.value == "done"
+        assert engine.now == 2.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._process_count = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), callback, args)
+        )
+
+    def schedule_now(self, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at the current instant, after queued peers."""
+        self.schedule(0.0, callback, *args)
+
+    def timeout(self, delay: float) -> Timeout:
+        """Create a :class:`Timeout` for ``delay`` time units."""
+        return Timeout(delay)
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh pending :class:`SimEvent`."""
+        return SimEvent(name=name)
+
+    # ------------------------------------------------------------------ #
+    # processes
+    # ------------------------------------------------------------------ #
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``.
+
+        The first step happens at the current simulation instant (not
+        immediately within this call), preserving causal ordering between the
+        spawner and the spawned.
+        """
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "process() requires a generator; did you forget to call the "
+                "generator function?"
+            )
+        proc = Process(self, generator, name=name)
+        self._process_count += 1
+        self.schedule_now(self._step, proc, None, None)
+        return proc
+
+    def _step(
+        self,
+        process: Process,
+        send_value: Any,
+        throw_exc: Optional[BaseException],
+    ) -> None:
+        """Advance ``process`` by one yield, then bind its next wait target."""
+        if process.settled:
+            return
+        process.waiting_on = None
+        process._resume_callback = None
+        try:
+            if throw_exc is not None:
+                target = process.generator.throw(throw_exc)
+            else:
+                target = process.generator.send(send_value)
+        except StopIteration as stop:
+            process.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process death is data
+            process.fail(exc)
+            return
+        try:
+            self._bind(process, target)
+        except SimulationError as exc:
+            process.generator.close()
+            process.fail(exc)
+
+    def _bind(self, process: Process, target: Any) -> None:
+        """Arrange for ``process`` to resume when ``target`` is ready."""
+        if isinstance(target, Timeout):
+            # represent the timeout as an event so the wait is interruptible
+            event = TimerEvent()
+            self.schedule(target.delay, self._fire_timeout, event)
+            target = event
+        if isinstance(target, SimEvent):  # includes Process
+            if target.settled:
+                if target.exception is not None:
+                    self.schedule_now(self._step, process, None, target.exception)
+                else:
+                    self.schedule_now(self._step, process, target.value, None)
+                return
+
+            def resume(event: SimEvent, _process=process) -> None:
+                if event.exception is not None:
+                    self.schedule_now(self._step, _process, None, event.exception)
+                else:
+                    self.schedule_now(self._step, _process, event.value, None)
+
+            process.waiting_on = target
+            process._resume_callback = resume
+            target.add_callback(resume)
+            return
+        raise SimulationError(
+            f"process {process.name!r} yielded unsupported object {target!r}; "
+            "yield a Timeout, SimEvent, or Process"
+        )
+
+    def _fire_timeout(self, event: TimerEvent) -> None:
+        """Settle a timeout event (skipped if its waiter was interrupted)."""
+        if event.pending and not event.abandoned:
+            event.succeed()
+
+    # ------------------------------------------------------------------ #
+    # the main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        Returns the final value of :attr:`now`.  When ``until`` is given the
+        clock is advanced exactly to it even if the last event fires earlier,
+        so rate computations can divide by a known horizon.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                at, _seq, callback, args = self._queue[0]
+                if (
+                    args
+                    and isinstance(args[0], TimerEvent)
+                    and args[0].abandoned
+                ):
+                    # dead timer from an interrupted wait: drop it without
+                    # advancing the clock
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and at > until:
+                    break
+                heapq.heappop(self._queue)
+                if at < self.now:
+                    raise SimulationError("event queue time went backwards")
+                self.now = at
+                callback(*args)
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None when the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def queued_events(self) -> int:
+        """Number of callbacks currently scheduled."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine now={self.now:.6g} queued={len(self._queue)}>"

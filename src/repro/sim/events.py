@@ -1,0 +1,137 @@
+"""Event primitives for the discrete-event engine.
+
+Two kinds of objects can be yielded by a simulation process:
+
+* :class:`Timeout` — resume after a fixed amount of virtual time.
+* :class:`SimEvent` — a one-shot event that some other component will either
+  :meth:`~SimEvent.succeed` or :meth:`~SimEvent.fail`.  Failing an event makes
+  the waiting process receive the exception at its ``yield`` statement, which
+  is how the deadlock detector aborts a victim that is parked on a lock queue.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, List, Optional
+
+from repro.exceptions import SimulationError
+
+
+class EventState(enum.Enum):
+    """Lifecycle of a :class:`SimEvent`."""
+
+    PENDING = "pending"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class Timeout:
+    """A request to sleep for ``delay`` units of virtual time.
+
+    Instances are immutable value objects; the engine interprets them when a
+    process yields one.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event starts :attr:`~EventState.PENDING` and is settled exactly once,
+    either with a value (:meth:`succeed`) or an exception (:meth:`fail`).
+    Settling runs all registered callbacks; callbacks added after settling are
+    invoked immediately by the engine when a process yields the event.
+
+    The class is deliberately tiny — no ``AnyOf``/``AllOf`` composition — the
+    replication protocols only ever wait on single events.
+    """
+
+    __slots__ = ("state", "value", "exception", "_callbacks", "name")
+
+    def __init__(self, name: str = ""):
+        self.state = EventState.PENDING
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+        self.name = name
+
+    @property
+    def pending(self) -> bool:
+        return self.state is EventState.PENDING
+
+    @property
+    def settled(self) -> bool:
+        return self.state is not EventState.PENDING
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Settle the event successfully, waking all waiters with ``value``."""
+        if self.settled:
+            raise SimulationError(f"event {self} already settled")
+        self.state = EventState.SUCCEEDED
+        self.value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Settle the event with an exception.
+
+        Every waiting process receives ``exception`` at its ``yield``.
+        """
+        if self.settled:
+            raise SimulationError(f"event {self} already settled")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self.state = EventState.FAILED
+        self.exception = exception
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Register ``callback`` to run when the event settles.
+
+        If the event is already settled the callback runs immediately.
+        """
+        if self.settled:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Deregister a callback (used when a waiter is interrupted away)."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<SimEvent{label} {self.state.value}>"
+
+
+class TimerEvent(SimEvent):
+    """Internal event backing a :class:`Timeout` wait.
+
+    When the waiting process is interrupted the timer is *abandoned*: the
+    engine drops its queue entry without advancing the clock, so dead timers
+    never stretch the simulation horizon.
+    """
+
+    __slots__ = ("abandoned",)
+
+    def __init__(self, name: str = "timeout"):
+        super().__init__(name=name)
+        self.abandoned = False

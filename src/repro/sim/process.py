@@ -1,0 +1,71 @@
+"""Simulation processes: generators driven by the engine.
+
+A :class:`Process` wraps a generator and *is itself* a
+:class:`~repro.sim.events.SimEvent` — it settles when the generator returns
+(success, with the generator's return value) or raises (failure).  That lets
+one process wait for another simply by yielding it, which is how a
+transaction coordinator waits for its participants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.exceptions import ProcessKilled, SimulationError
+from repro.sim.events import SimEvent
+
+
+class Process(SimEvent):
+    """A running simulation process.
+
+    Created via :meth:`repro.sim.engine.Engine.process`; user code never
+    instantiates this directly.
+
+    Attributes:
+        generator: the underlying generator being stepped.
+        waiting_on: the event this process is currently parked on, if any.
+    """
+
+    __slots__ = ("generator", "engine", "waiting_on", "_resume_callback")
+
+    def __init__(self, engine, generator: Generator[Any, Any, Any], name: str = ""):
+        super().__init__(name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self.engine = engine
+        self.waiting_on: Optional[SimEvent] = None
+        self._resume_callback = None
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self.pending
+
+    def interrupt(self, exception: Optional[BaseException] = None) -> None:
+        """Throw ``exception`` into the process at its current ``yield``.
+
+        The process must be parked on an event (a timeout or a pending
+        :class:`SimEvent`).  Interrupting a finished process is a no-op;
+        interrupting the currently-executing process is an error — raise in
+        place instead.
+        """
+        if self.settled:
+            return
+        if exception is None:
+            exception = ProcessKilled(f"process {self.name!r} interrupted")
+        if self.waiting_on is None:
+            raise SimulationError(
+                f"cannot interrupt process {self.name!r}: it is not waiting "
+                "(interrupting the running process is not allowed)"
+            )
+        target = self.waiting_on
+        callback = self._resume_callback
+        self.waiting_on = None
+        self._resume_callback = None
+        if callback is not None:
+            target.remove_callback(callback)
+        if getattr(target, "abandoned", None) is False:
+            target.abandoned = True  # dead timer: engine drops its entry
+        self.engine.schedule_now(self.engine._step, self, None, exception)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {self.state.value}>"

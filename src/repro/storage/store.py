@@ -1,0 +1,105 @@
+"""The per-node object store.
+
+A plain in-memory map ``oid -> Record`` with explicit read/write methods so
+that every mutation passes a timestamp check-point.  The store is
+concurrency-agnostic: isolation is the lock manager's job and atomicity is
+the WAL's; the store just holds current committed state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.storage.record import Record
+from repro.storage.versioning import Timestamp
+
+
+class ObjectStore:
+    """All object replicas stored at one node.
+
+    Example::
+
+        store = ObjectStore(node_id=0, db_size=100)
+        record = store.read(7)
+        store.write(7, record.value + 1, ts)
+    """
+
+    def __init__(self, node_id: int, db_size: int, initial_value: Any = 0):
+        if db_size <= 0:
+            raise ConfigurationError(f"db_size must be positive, got {db_size}")
+        self.node_id = node_id
+        self.db_size = db_size
+        self._records: Dict[int, Record] = {
+            oid: Record(oid=oid, value=initial_value) for oid in range(db_size)
+        }
+
+    def read(self, oid: int) -> Record:
+        """Return the record for ``oid`` (raises KeyError if absent)."""
+        return self._records[oid]
+
+    def value(self, oid: int) -> Any:
+        """Convenience: the committed value of ``oid``."""
+        return self._records[oid].value
+
+    def timestamp(self, oid: int) -> Timestamp:
+        """Convenience: the committed timestamp of ``oid``."""
+        return self._records[oid].ts
+
+    def write(self, oid: int, value: Any, ts: Timestamp) -> Record:
+        """Install ``value`` with timestamp ``ts`` as the committed version."""
+        record = self._records[oid]
+        record.value = value
+        record.ts = ts
+        return record
+
+    def apply(self, oid: int, transform: Callable[[Any], Any], ts: Timestamp) -> Record:
+        """Apply a pure transform to the current value (commutative ops)."""
+        record = self._records[oid]
+        record.value = transform(record.value)
+        record.ts = ts
+        return record
+
+    def restore(self, oid: int, value: Any, ts: Timestamp) -> None:
+        """Undo hook used by the WAL: reinstate an earlier version."""
+        record = self._records[oid]
+        record.value = value
+        record.ts = ts
+
+    def oids(self) -> Iterable[int]:
+        """All object identifiers in the database."""
+        return range(self.db_size)
+
+    def snapshot(self) -> Dict[int, Any]:
+        """Map oid -> value for divergence comparisons between nodes."""
+        return {oid: rec.value for oid, rec in self._records.items()}
+
+    def __len__(self) -> int:
+        return self.db_size
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records.values())
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._records
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ObjectStore node={self.node_id} size={self.db_size}>"
+
+
+def divergence(stores: Iterable[ObjectStore]) -> int:
+    """Number of objects whose value differs across the given stores.
+
+    This is the paper's "system delusion" metric: after quiescence and full
+    propagation, any nonzero divergence means the replicas failed to
+    converge.
+    """
+    snapshots = [store.snapshot() for store in stores]
+    if len(snapshots) < 2:
+        return 0
+    first, rest = snapshots[0], snapshots[1:]
+    differing = 0
+    for oid, val in first.items():
+        if any(snap.get(oid) != val for snap in rest):
+            differing += 1
+    return differing

@@ -1,0 +1,100 @@
+"""Write-ahead log providing undo for aborted transactions.
+
+The simulator keeps all state in memory, so the log's purpose here is
+*atomicity*, not durability: when a transaction aborts (deadlock victim or
+acceptance failure) its writes are rolled back in reverse order, restoring
+both value and timestamp.  Commit simply forgets the transaction's entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.exceptions import InvalidStateError
+from repro.storage.store import ObjectStore
+from repro.storage.versioning import Timestamp
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """Before/after image of one write."""
+
+    txn_id: int
+    oid: int
+    before_value: Any
+    before_ts: Timestamp
+    after_value: Any
+    after_ts: Timestamp
+
+
+class WriteAheadLog:
+    """Per-node undo log keyed by transaction.
+
+    Example::
+
+        wal.record(txn_id, oid, old, old_ts, new, new_ts)
+        ...
+        wal.undo(txn_id, store)   # on abort
+        wal.forget(txn_id)        # on commit
+    """
+
+    def __init__(self) -> None:
+        self._by_txn: Dict[int, List[LogEntry]] = {}
+        self.total_entries = 0
+
+    def record(
+        self,
+        txn_id: int,
+        oid: int,
+        before_value: Any,
+        before_ts: Timestamp,
+        after_value: Any,
+        after_ts: Timestamp,
+    ) -> LogEntry:
+        """Append a before/after image for ``txn_id``'s write to ``oid``."""
+        entry = LogEntry(
+            txn_id=txn_id,
+            oid=oid,
+            before_value=before_value,
+            before_ts=before_ts,
+            after_value=after_value,
+            after_ts=after_ts,
+        )
+        self._by_txn.setdefault(txn_id, []).append(entry)
+        self.total_entries += 1
+        return entry
+
+    def undo(self, txn_id: int, store: ObjectStore) -> int:
+        """Roll back every write of ``txn_id`` in reverse order.
+
+        Returns the number of writes undone.  The entries are consumed.
+        """
+        entries = self._by_txn.pop(txn_id, [])
+        for entry in reversed(entries):
+            store.restore(entry.oid, entry.before_value, entry.before_ts)
+        return len(entries)
+
+    def forget(self, txn_id: int) -> int:
+        """Discard entries at commit.  Returns how many were dropped."""
+        return len(self._by_txn.pop(txn_id, []))
+
+    def entries_for(self, txn_id: int) -> List[LogEntry]:
+        """The in-flight entries of ``txn_id`` (oldest first)."""
+        return list(self._by_txn.get(txn_id, []))
+
+    def pending_transactions(self) -> int:
+        return len(self._by_txn)
+
+    def assert_quiescent(self) -> None:
+        """Raise unless every transaction has committed or aborted."""
+        if self._by_txn:
+            raise InvalidStateError(
+                f"WAL still holds undo for {len(self._by_txn)} transactions"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<WriteAheadLog pending={len(self._by_txn)} "
+            f"total={self.total_entries}>"
+        )

@@ -1,0 +1,255 @@
+"""Per-node transaction manager.
+
+Runs operations under strict two-phase locking against the node's store and
+write-ahead log.  Methods that may block (anything that takes a lock) are
+generators to be driven with ``yield from`` inside a simulation process;
+they raise :class:`~repro.exceptions.DeadlockAbort` at the ``yield`` if the
+transaction is chosen as a deadlock victim while waiting.
+
+Each action costs ``Action_Time`` of virtual time, per Table 2 of the paper
+("Action_Time: time to perform an action") — this is what makes transaction
+*duration* grow with transaction *size*, the mechanism behind the eager
+scheme's N-times-longer transactions (equation 6).
+
+Distributed usage: an eager transaction executes against several nodes'
+managers.  The replication strategy coordinates, calling
+:meth:`finish_commit_local` / :meth:`finish_abort_local` on every involved
+manager; single-node callers can use the convenience :meth:`commit` /
+:meth:`abort` that also flip the transaction state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.exceptions import InvalidStateError
+from repro.sim.engine import Engine
+from repro.storage.lock_manager import LockManager, LockMode
+from repro.storage.store import ObjectStore
+from repro.storage.versioning import Timestamp, TimestampGenerator
+from repro.storage.wal import WriteAheadLog
+from repro.txn.ops import Operation
+from repro.txn.transaction import Transaction, UpdateRecord
+
+
+class TransactionManager:
+    """Executes transactions at one node.
+
+    Args:
+        engine: simulation engine.
+        node_id: this node's id.
+        store: the node's object store.
+        locks: the node's lock manager.
+        wal: the node's undo log.
+        clock: the node's Lamport timestamp generator.
+        action_time: virtual seconds consumed per action (Table 2).
+        lock_reads: when True, reads take shared locks (full serializability);
+            when False, reads are committed-read as the paper's model assumes
+            ("a weak multi-version form of committed-read serialization").
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: int,
+        store: ObjectStore,
+        locks: LockManager,
+        wal: WriteAheadLog,
+        clock: TimestampGenerator,
+        action_time: float = 0.01,
+        lock_reads: bool = False,
+        history=None,
+    ):
+        self.engine = engine
+        self.node_id = node_id
+        self.store = store
+        self.locks = locks
+        self.wal = wal
+        self.clock = clock
+        self.action_time = action_time
+        self.lock_reads = lock_reads
+        self.history = history  # optional repro.verify.History
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def begin(self, label: str = "") -> Transaction:
+        """Start a new transaction originating at this node."""
+        self.begun += 1
+        return Transaction(
+            origin_node=self.node_id, start_time=self.engine.now, label=label
+        )
+
+    def commit(self, txn: Transaction) -> None:
+        """Single-node commit: flip state and release local resources."""
+        txn.mark_committed(self.engine.now)
+        self.finish_commit_local(txn)
+
+    def abort(self, txn: Transaction, reason: str = "unknown") -> None:
+        """Single-node abort: undo, flip state, release local resources."""
+        txn.mark_aborted(self.engine.now, reason=reason)
+        self.finish_abort_local(txn)
+
+    def finish_commit_local(self, txn: Transaction) -> None:
+        """Release this node's share of a committing transaction."""
+        self.wal.forget(txn.txn_id)
+        self.locks.release_all(txn)
+        if txn.origin_node == self.node_id:
+            self.committed += 1
+
+    def finish_abort_local(self, txn: Transaction) -> None:
+        """Undo this node's share of an aborting transaction."""
+        self.wal.undo(txn.txn_id, self.store)
+        self.locks.release_all(txn)
+        if txn.origin_node == self.node_id:
+            self.aborted += 1
+
+    # ------------------------------------------------------------------ #
+    # operation execution (generators)
+    # ------------------------------------------------------------------ #
+
+    def execute(self, txn: Transaction, op: Operation) -> Generator[Any, Any, Any]:
+        """Run one operation for ``txn`` at this node.
+
+        Yields while waiting for locks or consuming action time.  Returns the
+        value read (for reads) or written (for updates).
+        """
+        txn.require_active()
+        if op.is_read:
+            return (yield from self._execute_read(txn, op))
+        return (yield from self._execute_update(txn, op))
+
+    def _execute_read(self, txn: Transaction, op: Operation):
+        if self.lock_reads:
+            yield from self._lock(txn, op.oid, LockMode.SHARED)
+        value = self.store.value(op.oid)
+        txn.record_read(value)
+        if self.history is not None:
+            self.history.record_read(self.node_id, txn.txn_id, op.oid)
+        return value
+
+    def _execute_update(self, txn: Transaction, op: Operation):
+        yield from self._lock(txn, op.oid, LockMode.EXCLUSIVE)
+        if self.action_time > 0:
+            yield self.engine.timeout(self.action_time)
+        txn.require_active()
+        record = self.store.read(op.oid)
+        old_value, old_ts = record.value, record.ts
+        new_ts = self.clock.tick()
+        new_value = op.apply(old_value)
+        self.wal.record(txn.txn_id, op.oid, old_value, old_ts, new_value, new_ts)
+        self.store.write(op.oid, new_value, new_ts)
+        txn.record_update(
+            UpdateRecord(
+                oid=op.oid,
+                op=op,
+                old_value=old_value,
+                old_ts=old_ts,
+                new_value=new_value,
+                new_ts=new_ts,
+            )
+        )
+        if self.history is not None:
+            if op.reads_state:
+                # an increment is a read-modify-write; the verifier needs
+                # the implicit read to reconstruct conflicts faithfully
+                self.history.record_read(self.node_id, txn.txn_id, op.oid)
+            self.history.record_write(self.node_id, txn.txn_id, op.oid)
+        return new_value
+
+    def execute_install(
+        self,
+        txn: Transaction,
+        oid: int,
+        value: Any,
+        new_ts: Timestamp,
+        root_txn_id: Optional[int] = None,
+    ) -> Generator[Any, Any, Any]:
+        """Install a shipped replica value (lazy propagation, Figure 1/4).
+
+        The value arrives with the *root* transaction's timestamp so that all
+        replicas converge to identical (value, ts) pairs; the local Lamport
+        clock witnesses the foreign timestamp.  When a history is being
+        recorded, the install is attributed to ``root_txn_id`` — it is the
+        root transaction's write, carried to this replica.
+        """
+        txn.require_active()
+        yield from self._lock(txn, oid, LockMode.EXCLUSIVE)
+        if self.action_time > 0:
+            yield self.engine.timeout(self.action_time)
+        txn.require_active()
+        record = self.store.read(oid)
+        self.wal.record(txn.txn_id, oid, record.value, record.ts, value, new_ts)
+        self.store.write(oid, value, new_ts)
+        self.clock.witness(new_ts)
+        if self.history is not None:
+            self.history.record_write(
+                self.node_id,
+                root_txn_id if root_txn_id is not None else txn.txn_id,
+                oid,
+            )
+        return value
+
+    def execute_transform(
+        self,
+        txn: Transaction,
+        op: Operation,
+        new_ts: Timestamp,
+        root_txn_id: Optional[int] = None,
+    ) -> Generator[Any, Any, Any]:
+        """Apply a shipped *commutative* operation to the local replica.
+
+        Used by convergent schemes that propagate transformations rather than
+        values (section 6).  The replica timestamp becomes the max of the
+        current and shipped timestamps, so replicas agree on the final
+        timestamp regardless of application order.
+        """
+        txn.require_active()
+        yield from self._lock(txn, op.oid, LockMode.EXCLUSIVE)
+        if self.action_time > 0:
+            yield self.engine.timeout(self.action_time)
+        txn.require_active()
+        record = self.store.read(op.oid)
+        final_ts = max(record.ts, new_ts)
+        new_value = op.apply(record.value)
+        self.wal.record(
+            txn.txn_id, op.oid, record.value, record.ts, new_value, final_ts
+        )
+        self.store.write(op.oid, new_value, final_ts)
+        self.clock.witness(new_ts)
+        if self.history is not None:
+            self.history.record_write(
+                self.node_id,
+                root_txn_id if root_txn_id is not None else txn.txn_id,
+                op.oid,
+            )
+        return new_value
+
+    def _lock(self, txn: Transaction, oid: int, mode: LockMode):
+        event = self.locks.acquire(txn, oid, mode)
+        if event is not None:
+            yield event  # may raise DeadlockAbort
+            txn.require_active()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def assert_quiescent(self) -> None:
+        """Raise unless no transaction holds locks or pending undo here."""
+        self.wal.assert_quiescent()
+        if self.locks._held_by_txn:
+            raise InvalidStateError(
+                f"node {self.node_id}: {len(self.locks._held_by_txn)} "
+                "transactions still hold locks"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TransactionManager node={self.node_id} begun={self.begun} "
+            f"committed={self.committed} aborted={self.aborted}>"
+        )

@@ -1,0 +1,163 @@
+"""The operation vocabulary.
+
+Section 6 of the paper observes that real replicated systems express updates
+as "transactional transformations such as 'Debit the account by $50' instead
+of 'change account from $200 to $150'", and that *commutative* transformations
+can be applied in any order at every replica with the same final state.
+
+Each operation is a small immutable object with:
+
+* ``oid`` — the object it touches,
+* ``apply(value)`` — the pure transformation of the object's value,
+* ``commutative`` — whether it commutes with every other commutative op,
+* ``is_read`` — reads take locks (optionally) but do not transform.
+
+``WriteOp`` (blind overwrite) is the dangerous, non-commutative primitive the
+paper's instability analysis assumes; ``IncrementOp``/``AppendOp`` are the
+semantic tricks that make two-tier replication stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+
+class Operation:
+    """Base class for operations.  Subclasses are immutable value objects."""
+
+    __slots__ = ("oid",)
+
+    commutative: bool = False
+    is_read: bool = False
+    #: True when the transformation depends on the current value (an
+    #: increment is semantically a read-modify-write); used by the history
+    #: verifier to record the implicit read.
+    reads_state: bool = False
+
+    def __init__(self, oid: int):
+        self.oid = oid
+
+    def apply(self, value: Any) -> Any:
+        """Return the new object value given the current one."""
+        raise NotImplementedError
+
+    def _key(self) -> Tuple:
+        return (type(self).__name__, self.oid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operation):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        name = type(self).__name__
+        fields = self._key()[1:]
+        return f"{name}({', '.join(repr(f) for f in fields)})"
+
+
+class ReadOp(Operation):
+    """Read the current committed value (no transformation)."""
+
+    __slots__ = ()
+    is_read = True
+    commutative = True  # reads trivially commute with each other
+
+    def apply(self, value: Any) -> Any:
+        return value
+
+
+class WriteOp(Operation):
+    """Blind overwrite: ``value := new_value``.  Does not commute."""
+
+    __slots__ = ("new_value",)
+    commutative = False
+
+    def __init__(self, oid: int, new_value: Any):
+        super().__init__(oid)
+        self.new_value = new_value
+
+    def apply(self, value: Any) -> Any:
+        return self.new_value
+
+    def _key(self) -> Tuple:
+        return ("WriteOp", self.oid, self.new_value)
+
+
+class IncrementOp(Operation):
+    """Add a constant: ``value := value + delta``.  Commutes.
+
+    The paper's checkbook debit/credit: "Debit the account by $50".
+    """
+
+    __slots__ = ("delta",)
+    commutative = True
+    reads_state = True
+
+    def __init__(self, oid: int, delta: float):
+        super().__init__(oid)
+        self.delta = delta
+
+    def apply(self, value: Any) -> Any:
+        return value + self.delta
+
+    def _key(self) -> Tuple:
+        return ("IncrementOp", self.oid, self.delta)
+
+
+class MultiplyOp(Operation):
+    """Scale by a constant: ``value := value * factor``.
+
+    Commutes with other multiplies but **not** with increments; it is marked
+    non-commutative so the conservative commutativity test stays sound.
+    Included for the acceptance-criteria examples (price adjustments).
+    """
+
+    __slots__ = ("factor",)
+    commutative = False
+    reads_state = True
+
+    def __init__(self, oid: int, factor: float):
+        super().__init__(oid)
+        self.factor = factor
+
+    def apply(self, value: Any) -> Any:
+        return value * self.factor
+
+    def _key(self) -> Tuple:
+        return ("MultiplyOp", self.oid, self.factor)
+
+
+class AppendOp(Operation):
+    """Timestamped append (Lotus Notes style): add an item to a tuple.
+
+    The object's value must be a tuple; the final *set* of appended items is
+    order-independent, which is what makes the Notes append scheme converge.
+    Readers that need a canonical order sort by the items themselves.
+    """
+
+    __slots__ = ("item",)
+    commutative = True
+    reads_state = True
+
+    def __init__(self, oid: int, item: Any):
+        super().__init__(oid)
+        self.item = item
+
+    def apply(self, value: Any) -> Any:
+        if value == 0:  # default initial store value; treat as empty file
+            value = ()
+        return tuple(sorted(value + (self.item,)))
+
+    def _key(self) -> Tuple:
+        return ("AppendOp", self.oid, self.item)
+
+
+def all_commute(operations) -> bool:
+    """Conservative test: every operation in every transaction commutes.
+
+    Section 7: "If all transactions commute, there are no reconciliations."
+    """
+    return all(op.commutative for op in operations)

@@ -1,0 +1,144 @@
+"""Reusable system invariants.
+
+The test suite and benchmarks assert the same handful of whole-system
+properties over and over; these helpers name them, produce useful
+diagnostics when they fail, and give library users a one-call health check
+after any simulation::
+
+    from repro.verify.invariants import check_all
+    report = check_all(system)
+    assert report.ok, report.describe()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import InvalidStateError
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one or more invariant checks."""
+
+    failures: List[str] = field(default_factory=list)
+    checked: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"all invariants hold ({', '.join(self.checked)})"
+        return "invariant failures:\n" + "\n".join(
+            f"  - {failure}" for failure in self.failures
+        )
+
+    def merge(self, other: "InvariantReport") -> "InvariantReport":
+        return InvariantReport(
+            failures=self.failures + other.failures,
+            checked=self.checked + other.checked,
+        )
+
+
+def check_quiescent(system) -> InvariantReport:
+    """No transaction holds locks or pending undo at any node."""
+    report = InvariantReport(checked=["quiescent"])
+    for node in system.nodes:
+        try:
+            node.tm.assert_quiescent()
+        except InvalidStateError as exc:
+            report.failures.append(f"node {node.node_id}: {exc}")
+        held = getattr(node.locks, "_held_by_txn", {})
+        if held:
+            report.failures.append(
+                f"node {node.node_id}: {len(held)} lock holders remain"
+            )
+    return report
+
+
+def check_converged(system) -> InvariantReport:
+    """Every replica agrees on every object's value."""
+    report = InvariantReport(checked=["converged"])
+    diverged = system.divergence()
+    if diverged:
+        details = divergence_report(system, limit=5)
+        report.failures.append(
+            f"{diverged} objects diverged; first few: {details}"
+        )
+    return report
+
+
+def check_accounting(system) -> InvariantReport:
+    """Counter bookkeeping closes: adjudicated tentative work, commit/abort
+    totals, and wait/deadlock ordering are internally consistent."""
+    report = InvariantReport(checked=["accounting"])
+    m = system.metrics
+    if m.deadlocks > m.waits:
+        report.failures.append(
+            f"more deadlocks ({m.deadlocks}) than waits ({m.waits}) — every "
+            "deadlock victim must first have waited"
+        )
+    adjudicated = m.tentative_accepted + m.tentative_rejected
+    if adjudicated > m.tentative_committed:
+        report.failures.append(
+            f"adjudicated tentative txns ({adjudicated}) exceed committed "
+            f"({m.tentative_committed})"
+        )
+    for name, value in m.as_dict().items():
+        if isinstance(value, (int, float)) and value < 0:
+            report.failures.append(f"counter {name} went negative: {value}")
+    return report
+
+
+def check_serializable(system) -> InvariantReport:
+    """The recorded schedule is one-copy conflict serializable.
+
+    Only meaningful for systems built with ``record_history=True`` and a
+    serializable strategy; skipped (vacuously ok) without a history.
+    """
+    report = InvariantReport(checked=["serializable"])
+    history = getattr(system, "history", None)
+    if history is None:
+        return report
+    graph = history.conflict_graph()
+    cycle = graph.find_cycle()
+    if cycle is not None:
+        report.failures.append(
+            "precedence cycle among committed transactions: "
+            + " -> ".join(map(str, cycle))
+        )
+    return report
+
+
+def check_all(system, expect_serializable: bool = False) -> InvariantReport:
+    """Run the standard post-run health checks."""
+    report = check_quiescent(system)
+    report = report.merge(check_converged(system))
+    report = report.merge(check_accounting(system))
+    if expect_serializable:
+        report = report.merge(check_serializable(system))
+    return report
+
+
+def divergence_report(system, limit: int = 10) -> Dict[int, List[Any]]:
+    """Map of diverged oid -> per-node values (up to ``limit`` objects)."""
+    snapshots = [node.store.snapshot() for node in system.nodes]
+    out: Dict[int, List[Any]] = {}
+    if not snapshots:
+        return out
+    for oid, value in snapshots[0].items():
+        values = [snap[oid] for snap in snapshots]
+        if any(v != value for v in values):
+            out[oid] = values
+            if len(out) >= limit:
+                break
+    return out
+
+
+def conservation_total(system) -> Any:
+    """Sum of all object values at node 0 — for increment-only workloads
+    this must equal the sum of committed deltas (no lost updates)."""
+    return sum(system.nodes[0].store.snapshot().values())

@@ -1,0 +1,27 @@
+"""Workload generators.
+
+The model workload (Table 2): each node originates ``TPS`` transactions per
+second; each transaction performs ``Actions`` updates on objects "chosen
+uniformly from the database" with "no hotspots".
+:class:`~repro.workload.generator.WorkloadGenerator` produces exactly that as
+an open Poisson arrival process per node.
+
+Scenario workloads reproduce the paper's running examples:
+
+* :mod:`~repro.workload.checkbook` — the joint checking account from the
+  introduction (debits/credits, overdraft acceptance criterion);
+* :mod:`~repro.workload.sales` — the travelling salesman of section 7
+  (price quotes, stock, aisle seats);
+* :mod:`~repro.workload.mobile_cycle` — the day-cycle disconnect schedule of
+  section 4 ("The node accepts and applies transactions for a day. Then, at
+  night it connects").
+"""
+
+from repro.workload.profiles import TransactionProfile, uniform_update_profile
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = [
+    "TransactionProfile",
+    "uniform_update_profile",
+    "WorkloadGenerator",
+]

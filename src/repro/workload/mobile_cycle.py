@@ -1,0 +1,98 @@
+"""The day-cycle mobile workload (paper section 4).
+
+"Suppose that the typical node is disconnected most of the time. The node
+accepts and applies transactions for a day. Then, at night it connects and
+downloads them to the rest of the network. At that time it also accepts
+replica updates."
+
+:class:`MobileCycleDriver` runs that schedule against a
+:class:`~repro.core.protocol.TwoTierSystem`: every mobile repeatedly goes
+dark for ``disconnect_time``, originating tentative transactions at rate
+``tps``, then reconnects (running the five-step exchange) and immediately
+disconnects again.  It is the workload behind the equation 15-18 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.acceptance import AcceptanceCriterion, IdenticalOutputs
+from repro.core.protocol import TwoTierSystem
+from repro.exceptions import ConfigurationError
+from repro.sim.process import Process
+from repro.workload.profiles import TransactionProfile
+
+
+class MobileCycleDriver:
+    """Disconnect/work/reconnect cycles for every mobile node.
+
+    Args:
+        system: a two-tier system.
+        profile: transaction shape for tentative work.
+        tps: tentative transactions per second while disconnected.
+        disconnect_time: duration of each dark period.
+        connected_time: dwell time between reconnect and the next departure
+            (default: a negligible instant — the paper's nightly sync).
+        acceptance: criterion attached to each tentative transaction.
+            Default :class:`IdenticalOutputs`, the strict test whose
+            rejection rate mirrors the lazy-group collision analysis.
+    """
+
+    def __init__(
+        self,
+        system: TwoTierSystem,
+        profile: TransactionProfile,
+        tps: float,
+        disconnect_time: float,
+        connected_time: float = 0.0,
+        acceptance: Optional[AcceptanceCriterion] = None,
+    ):
+        if tps <= 0 or disconnect_time <= 0:
+            raise ConfigurationError("tps and disconnect_time must be positive")
+        self.system = system
+        self.profile = profile
+        self.tps = tps
+        self.disconnect_time = disconnect_time
+        self.connected_time = connected_time
+        self.acceptance = acceptance if acceptance is not None else IdenticalOutputs()
+        self.cycles_completed = 0
+        self.processes: List[Process] = []
+
+    def start(self, duration: float) -> List[Process]:
+        """Spawn one cycle process per mobile node."""
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.processes = [
+            self.system.engine.process(
+                self._cycle(mobile_id, duration), name=f"cycle@{mobile_id}"
+            )
+            for mobile_id in self.system.mobiles
+        ]
+        return self.processes
+
+    def _cycle(self, mobile_id: int, duration: float):
+        engine = self.system.engine
+        mobile = self.system.mobiles[mobile_id]
+        arrival_rng = self.system.rng.stream(f"mobile-arrivals/{mobile_id}")
+        op_rng = self.system.rng.stream(f"mobile-ops/{mobile_id}")
+        deadline = engine.now + duration
+        while engine.now < deadline:
+            # go dark and work tentatively
+            self.system.disconnect_mobile(mobile_id)
+            dark_until = min(engine.now + self.disconnect_time, deadline)
+            while True:
+                gap = arrival_rng.expovariate(self.tps)
+                if engine.now + gap >= dark_until:
+                    remaining = dark_until - engine.now
+                    if remaining > 0:
+                        yield engine.timeout(remaining)
+                    break
+                yield engine.timeout(gap)
+                ops = self.profile.build(op_rng)
+                yield from mobile.run_tentative(ops, self.acceptance)
+            # nightly sync: the five-step exchange
+            yield self.system.reconnect_mobile(mobile_id)
+            self.cycles_completed += 1
+            if self.connected_time > 0:
+                yield engine.timeout(self.connected_time)
+        return self.cycles_completed

@@ -1,0 +1,93 @@
+"""Transaction profiles: how a workload builds each transaction.
+
+A profile turns a random stream into a list of operations.  The model's
+default is ``Actions`` blind writes to distinct uniformly-chosen objects;
+variants switch the operation type (the commutativity ablation) or the
+access skew (hotspot sensitivity, which the paper's uniform model excludes
+by assumption).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.txn.ops import IncrementOp, Operation, WriteOp
+
+OpFactory = Callable[[int, random.Random], Operation]
+
+
+def write_op_factory(oid: int, rng: random.Random) -> Operation:
+    """Blind overwrite with a random token — the non-commuting default."""
+    return WriteOp(oid, rng.randrange(1_000_000))
+
+
+def increment_op_factory(oid: int, rng: random.Random) -> Operation:
+    """Commutative increment — the section 6/7 'semantic trick'."""
+    return IncrementOp(oid, rng.choice([1, 2, 5, -1, -2]))
+
+
+@dataclass
+class TransactionProfile:
+    """Recipe for one transaction.
+
+    Args:
+        actions: updates per transaction (Table 2's Actions).
+        db_size: object-id space to draw from.
+        op_factory: builds the operation for a chosen object.
+        hot_fraction / hot_weight: optional hotspot skew — a ``hot_fraction``
+            of the database receives ``hot_weight`` times the uniform access
+            probability.  Defaults reproduce the paper's no-hotspot
+            assumption.
+    """
+
+    actions: int
+    db_size: int
+    op_factory: OpFactory = write_op_factory
+    hot_fraction: float = 0.0
+    hot_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.actions <= 0:
+            raise ConfigurationError("actions must be positive")
+        if self.db_size < self.actions:
+            raise ConfigurationError(
+                f"db_size ({self.db_size}) must be >= actions ({self.actions}) "
+                "for distinct-object transactions"
+            )
+        if not 0.0 <= self.hot_fraction < 1.0:
+            raise ConfigurationError("hot_fraction must be in [0, 1)")
+        if self.hot_weight < 1.0:
+            raise ConfigurationError("hot_weight must be >= 1")
+
+    def choose_oids(self, rng: random.Random) -> List[int]:
+        """Distinct object ids for one transaction."""
+        if self.hot_fraction == 0.0 or self.hot_weight == 1.0:
+            return rng.sample(range(self.db_size), self.actions)
+        hot_count = max(1, int(self.db_size * self.hot_fraction))
+        chosen: set[int] = set()
+        while len(chosen) < self.actions:
+            hot_mass = hot_count * self.hot_weight
+            cold_mass = self.db_size - hot_count
+            if rng.random() < hot_mass / (hot_mass + cold_mass):
+                chosen.add(rng.randrange(hot_count))
+            else:
+                chosen.add(hot_count + rng.randrange(self.db_size - hot_count))
+        return sorted(chosen, key=lambda _: rng.random())
+
+    def build(self, rng: random.Random) -> List[Operation]:
+        """Materialize one transaction's operation list."""
+        return [self.op_factory(oid, rng) for oid in self.choose_oids(rng)]
+
+
+def uniform_update_profile(
+    actions: int, db_size: int, commutative: bool = False
+) -> TransactionProfile:
+    """The model workload: ``actions`` uniform updates, write or increment."""
+    return TransactionProfile(
+        actions=actions,
+        db_size=db_size,
+        op_factory=increment_op_factory if commutative else write_op_factory,
+    )

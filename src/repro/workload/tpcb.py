@@ -1,0 +1,146 @@
+"""A TPC-B-style banking workload.
+
+The paper invokes the TPC benchmarks when motivating the scaled-database
+regime: "one might imagine that the database size grows with the number of
+nodes (as in the checkbook example earlier, or in the TPC-A, TPC-B, and
+TPC-C benchmarks). More nodes, and more transactions mean more data."
+
+This generator reproduces TPC-B's shape: each transaction updates one
+**account** (huge table, effectively uncontended), one **teller** (10 per
+branch), one **branch** (one per configured branch — the classic hotspot),
+and appends to a **history** object.  Scaling the system adds branches —
+i.e. the database grows with the load, exactly the equation-13 regime —
+while the per-branch contention structure stays fixed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.txn.ops import AppendOp, IncrementOp, Operation
+
+TELLERS_PER_BRANCH = 10
+ACCOUNTS_PER_BRANCH = 1000
+
+
+@dataclass(frozen=True)
+class TpcbLayout:
+    """Object-id layout for a TPC-B database of ``branches`` branches.
+
+    Layout (contiguous ranges)::
+
+        [0, B)                      branch balances
+        [B, B + 10B)                teller balances
+        [11B, 11B + 1000B)          account balances
+        [1011B, 1012B)              per-branch history files
+    """
+
+    branches: int
+
+    def __post_init__(self) -> None:
+        if self.branches <= 0:
+            raise ConfigurationError("branches must be positive")
+
+    @property
+    def db_size(self) -> int:
+        return self.branches * (1 + TELLERS_PER_BRANCH + ACCOUNTS_PER_BRANCH + 1)
+
+    def branch_oid(self, branch: int) -> int:
+        self._check(branch)
+        return branch
+
+    def teller_oid(self, branch: int, teller: int) -> int:
+        self._check(branch)
+        if not 0 <= teller < TELLERS_PER_BRANCH:
+            raise ConfigurationError(f"teller {teller} out of range")
+        return self.branches + branch * TELLERS_PER_BRANCH + teller
+
+    def account_oid(self, branch: int, account: int) -> int:
+        self._check(branch)
+        if not 0 <= account < ACCOUNTS_PER_BRANCH:
+            raise ConfigurationError(f"account {account} out of range")
+        return (
+            self.branches * (1 + TELLERS_PER_BRANCH)
+            + branch * ACCOUNTS_PER_BRANCH
+            + account
+        )
+
+    def history_oid(self, branch: int) -> int:
+        self._check(branch)
+        return (
+            self.branches * (1 + TELLERS_PER_BRANCH + ACCOUNTS_PER_BRANCH)
+            + branch
+        )
+
+    def _check(self, branch: int) -> None:
+        if not 0 <= branch < self.branches:
+            raise ConfigurationError(
+                f"branch {branch} out of range [0, {self.branches})"
+            )
+
+
+class TpcbProfile:
+    """Builds TPC-B transactions against a :class:`TpcbLayout`.
+
+    Each transaction (the TPC-B "deposit"):
+
+    1. increments one uniformly chosen account by ``delta``,
+    2. increments its teller by ``delta``,
+    3. increments its branch by ``delta``  (the contention point),
+    4. appends a history record.
+
+    15 % of transactions (per the TPC-B remote-transaction rule) pick an
+    account in a *different* branch than the teller — those are the
+    cross-branch transactions that make distributed masters interesting.
+    """
+
+    actions = 4  # for Table-2 bookkeeping
+
+    def __init__(self, layout: TpcbLayout, remote_fraction: float = 0.15):
+        if not 0.0 <= remote_fraction <= 1.0:
+            raise ConfigurationError("remote_fraction must be in [0, 1]")
+        self.layout = layout
+        self.remote_fraction = remote_fraction
+        self.db_size = layout.db_size
+        self._sequence = 0
+
+    def build(self, rng: random.Random) -> List[Operation]:
+        layout = self.layout
+        home_branch = rng.randrange(layout.branches)
+        teller = rng.randrange(TELLERS_PER_BRANCH)
+        if layout.branches > 1 and rng.random() < self.remote_fraction:
+            other = rng.randrange(layout.branches - 1)
+            account_branch = other if other < home_branch else other + 1
+        else:
+            account_branch = home_branch
+        account = rng.randrange(ACCOUNTS_PER_BRANCH)
+        delta = rng.choice([10, 20, 50, -10, -20])
+        self._sequence += 1
+        return [
+            IncrementOp(layout.account_oid(account_branch, account), delta),
+            IncrementOp(layout.teller_oid(home_branch, teller), delta),
+            IncrementOp(layout.branch_oid(home_branch), delta),
+            AppendOp(layout.history_oid(home_branch),
+                     (self._sequence, home_branch, teller, delta)),
+        ]
+
+    def choose_oids(self, rng: random.Random) -> List[int]:
+        """Interface parity with TransactionProfile (object ids only)."""
+        return [op.oid for op in self.build(rng)]
+
+
+def branch_balance_invariant(store, layout: TpcbLayout) -> bool:
+    """TPC-B consistency condition: each branch balance equals the sum of
+    its tellers' balances (every delta hits account+teller+branch alike,
+    so branch == sum(tellers) as long as no update was lost)."""
+    for branch in range(layout.branches):
+        teller_sum = sum(
+            store.value(layout.teller_oid(branch, teller))
+            for teller in range(TELLERS_PER_BRANCH)
+        )
+        if store.value(layout.branch_oid(branch)) != teller_sum:
+            return False
+    return True

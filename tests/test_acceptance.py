@@ -1,0 +1,127 @@
+"""Tests for acceptance criteria."""
+
+from repro.core.acceptance import (
+    AlwaysAccept,
+    IdenticalOutputs,
+    NonNegativeOutputs,
+    PredicateCriterion,
+    PriceNotAbove,
+    WithinTolerance,
+    combine,
+)
+
+
+class TestAlwaysAccept:
+    def test_accepts_anything(self):
+        ok, why = AlwaysAccept().check([1, 2], [999, -5])
+        assert ok and why == ""
+
+
+class TestIdenticalOutputs:
+    def test_equal_outputs_accepted(self):
+        ok, _ = IdenticalOutputs().check([1, 2], [1, 2])
+        assert ok
+
+    def test_different_outputs_rejected_with_diagnostic(self):
+        ok, why = IdenticalOutputs().check([1, 2], [1, 3])
+        assert not ok
+        assert "differ" in why
+
+    def test_tuple_vs_list_equivalence(self):
+        ok, _ = IdenticalOutputs().check((1, 2), [1, 2])
+        assert ok
+
+
+class TestNonNegative:
+    def test_positive_balances_accepted(self):
+        ok, _ = NonNegativeOutputs().check([100], [50])
+        assert ok
+
+    def test_zero_accepted(self):
+        ok, _ = NonNegativeOutputs().check([0], [0])
+        assert ok
+
+    def test_overdraft_rejected(self):
+        ok, why = NonNegativeOutputs().check([200], [-500])
+        assert not ok
+        assert "negative" in why
+
+    def test_differing_but_positive_base_accepted(self):
+        """'It is fine if the checking account balance is different when the
+        transaction is reprocessed.'"""
+        ok, _ = NonNegativeOutputs().check([200], [950])
+        assert ok
+
+    def test_non_numeric_outputs_ignored(self):
+        ok, _ = NonNegativeOutputs().check(["x"], ["y"])
+        assert ok
+
+
+class TestPriceNotAbove:
+    def test_lower_base_price_accepted(self):
+        ok, _ = PriceNotAbove().check([100.0], [95.0])
+        assert ok
+
+    def test_equal_price_accepted(self):
+        ok, _ = PriceNotAbove().check([100.0], [100.0])
+        assert ok
+
+    def test_higher_price_rejected(self):
+        ok, why = PriceNotAbove().check([100.0], [120.0])
+        assert not ok
+        assert "exceeds" in why
+
+    def test_tolerance_allows_small_increase(self):
+        ok, _ = PriceNotAbove(tolerance=25.0).check([100.0], [120.0])
+        assert ok
+
+
+class TestWithinTolerance:
+    def test_within_band_accepted(self):
+        ok, _ = WithinTolerance(0.10).check([100.0], [105.0])
+        assert ok
+
+    def test_outside_band_rejected(self):
+        ok, why = WithinTolerance(0.01).check([100.0], [105.0])
+        assert not ok
+        assert "deviates" in why
+
+    def test_negative_tolerance_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            WithinTolerance(-0.1)
+
+
+class TestPredicate:
+    def test_all_values_must_satisfy(self):
+        crit = PredicateCriterion(lambda v: v % 2 == 0, name="even")
+        ok, _ = crit.check([], [2, 4])
+        assert ok
+        ok, why = crit.check([], [2, 3])
+        assert not ok
+
+    def test_describe_in_diagnostic(self):
+        crit = PredicateCriterion(lambda v: False, describe="must be aisle")
+        ok, why = crit.check([], ["12B"])
+        assert "must be aisle" in why
+
+
+class TestCombine:
+    def test_all_must_accept(self):
+        crit = combine(NonNegativeOutputs(), PriceNotAbove())
+        ok, _ = crit.check([100.0], [50.0])
+        assert ok
+
+    def test_first_failure_named_in_diagnostic(self):
+        crit = combine(NonNegativeOutputs(), PriceNotAbove())
+        ok, why = crit.check([100.0], [-5.0])
+        assert not ok
+        assert "non-negative" in why
+        ok, why = crit.check([100.0], [200.0])
+        assert not ok
+        assert "price-not-above" in why
+
+    def test_combined_name(self):
+        crit = combine(NonNegativeOutputs(), AlwaysAccept())
+        assert "non-negative" in crit.name

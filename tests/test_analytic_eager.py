@@ -1,0 +1,122 @@
+"""Tests for equations 6-13 (eager replication scaling)."""
+
+import pytest
+
+from repro.analytic import ModelParameters, eager
+from repro.analytic.scaling import amplification, fit_exponent, sweep
+
+
+@pytest.fixture()
+def p():
+    return ModelParameters(db_size=10_000, nodes=1, tps=10, actions=5,
+                           action_time=0.01)
+
+
+class TestEquation6:
+    def test_transaction_size(self, p):
+        assert eager.transaction_size(p.with_(nodes=3)) == 15
+
+    def test_transaction_duration(self, p):
+        assert eager.transaction_duration(p.with_(nodes=3)) == pytest.approx(0.15)
+
+    def test_total_tps(self, p):
+        assert eager.total_tps(p.with_(nodes=4)) == 40
+
+    def test_single_node_degenerates_to_base_case(self, p):
+        assert eager.transaction_size(p) == p.actions
+        assert eager.transaction_duration(p) == p.transaction_duration
+
+
+class TestEquations7And8:
+    def test_total_transactions_quadratic(self, p):
+        r = sweep(eager.total_transactions, p, "nodes", [1, 2, 4, 8, 16])
+        assert fit_exponent(r.xs, r.ys) == pytest.approx(2.0)
+
+    def test_total_transactions_value(self, p):
+        # TPS * A * AT * N^2 = 10*5*0.01*9 = 4.5
+        assert eager.total_transactions(p.with_(nodes=3)) == pytest.approx(4.5)
+
+    def test_action_rate_quadratic(self, p):
+        r = sweep(eager.action_rate, p, "nodes", [1, 2, 4, 8])
+        assert fit_exponent(r.xs, r.ys) == pytest.approx(2.0)
+
+    def test_action_rate_value(self, p):
+        # Figure 3: doubling nodes quadruples the aggregate update work
+        assert eager.action_rate(p.with_(nodes=2)) == pytest.approx(
+            4 * eager.action_rate(p) / 2 * 2
+        )
+        assert eager.action_rate(p.with_(nodes=2)) == 4 * p.tps * p.actions
+
+
+class TestEquations9And10:
+    def test_wait_probability_value(self, p):
+        # TPS*AT*A^3*N^2/(2 DB)
+        q = p.with_(nodes=3)
+        expected = 10 * 0.01 * 125 * 9 / 20_000
+        assert eager.wait_probability(q) == pytest.approx(expected)
+
+    def test_wait_rate_cubic_in_nodes(self, p):
+        r = sweep(eager.total_wait_rate, p, "nodes", [1, 2, 4, 8, 16])
+        assert fit_exponent(r.xs, r.ys) == pytest.approx(3.0)
+
+    def test_wait_rate_cubic_in_actions(self, p):
+        r = sweep(eager.total_wait_rate, p, "actions", [2, 4, 8, 16])
+        assert fit_exponent(r.xs, r.ys) == pytest.approx(3.0)
+
+
+class TestEquations11And12:
+    def test_deadlock_probability_value(self, p):
+        q = p.with_(nodes=2)
+        expected = 10 * 0.01 * 5**5 * 4 / (4 * 10_000**2)
+        assert eager.deadlock_probability(q) == pytest.approx(expected)
+
+    def test_headline_ten_nodes_thousandfold(self, p):
+        """The paper's abstract: 'a ten-fold increase in nodes and traffic
+        gives a thousand fold increase in deadlocks'."""
+        assert amplification(
+            eager.total_deadlock_rate, p, "nodes", 10
+        ) == pytest.approx(1000.0)
+
+    def test_transaction_size_hundred_thousandfold(self, p):
+        """'A ten-fold increase in the transaction size increases the
+        deadlock rate by a factor of 100,000.'"""
+        assert amplification(
+            eager.total_deadlock_rate, p, "actions", 10
+        ) == pytest.approx(100_000.0)
+
+    def test_deadlock_rate_cubic_in_nodes(self, p):
+        r = sweep(eager.total_deadlock_rate, p, "nodes", [1, 2, 5, 10, 20])
+        assert fit_exponent(r.xs, r.ys) == pytest.approx(3.0)
+
+    def test_deadlock_rate_quintic_in_actions(self, p):
+        r = sweep(eager.total_deadlock_rate, p, "actions", [2, 4, 8])
+        assert fit_exponent(r.xs, r.ys) == pytest.approx(5.0)
+
+    def test_deadlock_rate_follows_pd_over_duration(self, p):
+        q = p.with_(nodes=4)
+        expected = (
+            eager.total_transactions(q)
+            * eager.deadlock_probability(q)
+            / eager.transaction_duration(q)
+        )
+        assert eager.total_deadlock_rate(q) == pytest.approx(expected)
+
+
+class TestEquation13:
+    def test_scaled_db_linear_in_nodes(self, p):
+        r = sweep(
+            eager.total_deadlock_rate_scaled_db, p, "nodes", [1, 2, 5, 10, 50]
+        )
+        assert fit_exponent(r.xs, r.ys) == pytest.approx(1.0)
+
+    def test_scaled_db_matches_substitution(self, p):
+        """Equation 13 must equal equation 12 with DB_Size := DB_Size*N."""
+        q = p.with_(nodes=7)
+        assert eager.total_deadlock_rate_scaled_db(q) == pytest.approx(
+            eager.total_deadlock_rate(q.scaled_db())
+        )
+
+    def test_ten_nodes_only_tenfold(self, p):
+        assert amplification(
+            eager.total_deadlock_rate_scaled_db, p, "nodes", 10
+        ) == pytest.approx(10.0)

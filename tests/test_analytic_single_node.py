@@ -1,0 +1,107 @@
+"""Tests for equations 1-5 (single-node waits and deadlocks)."""
+
+import pytest
+
+from repro.analytic import ModelParameters, single_node
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def p():
+    return ModelParameters(db_size=1000, nodes=1, tps=10, actions=4,
+                           action_time=0.01)
+
+
+class TestParameters:
+    def test_equation_1_concurrent_transactions(self, p):
+        # Transactions = TPS x Actions x Action_Time = 10 * 4 * 0.01 = 0.4
+        assert p.transactions == pytest.approx(0.4)
+        assert single_node.concurrent_transactions(p) == pytest.approx(0.4)
+
+    def test_transaction_duration(self, p):
+        assert p.transaction_duration == pytest.approx(0.04)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModelParameters(db_size=0)
+        with pytest.raises(ConfigurationError):
+            ModelParameters(nodes=0)
+        with pytest.raises(ConfigurationError):
+            ModelParameters(actions=0)
+        with pytest.raises(ConfigurationError):
+            ModelParameters(tps=-1)
+        with pytest.raises(ConfigurationError):
+            ModelParameters(action_time=-0.1)
+        with pytest.raises(ConfigurationError):
+            ModelParameters(message_delay=-1)
+
+    def test_with_replaces_fields(self, p):
+        q = p.with_(nodes=5, tps=20)
+        assert q.nodes == 5 and q.tps == 20
+        assert q.db_size == p.db_size
+        assert p.nodes == 1  # original untouched
+
+    def test_scaled_db(self, p):
+        q = p.with_(nodes=10).scaled_db()
+        assert q.db_size == 10_000
+
+    def test_describe_mentions_values(self, p):
+        text = p.describe()
+        assert "DB_Size=1000" in text and "TPS=10" in text
+
+
+class TestEquation2:
+    def test_wait_probability_formula(self, p):
+        # PW = Transactions * Actions^2 / (2 * DB) = 0.4*16/2000 = 0.0032
+        assert single_node.wait_probability(p) == pytest.approx(0.0032)
+
+    def test_wait_probability_scales_linearly_with_tps(self, p):
+        assert single_node.wait_probability(p.with_(tps=20)) == pytest.approx(
+            2 * single_node.wait_probability(p)
+        )
+
+    def test_wait_probability_inverse_in_db_size(self, p):
+        assert single_node.wait_probability(p.with_(db_size=2000)) == (
+            pytest.approx(single_node.wait_probability(p) / 2)
+        )
+
+
+class TestEquation3:
+    def test_deadlock_probability_formula(self, p):
+        # PD = TPS * AT * A^5 / (4 DB^2) = 10*0.01*1024/(4e6)
+        expected = 10 * 0.01 * 4**5 / (4 * 1000**2)
+        assert single_node.deadlock_probability(p) == pytest.approx(expected)
+
+    def test_pd_equals_pw_squared_over_transactions(self, p):
+        pw = single_node.wait_probability(p)
+        pd = single_node.deadlock_probability(p)
+        assert pd == pytest.approx(pw**2 / p.transactions)
+
+
+class TestEquations4And5:
+    def test_transaction_deadlock_rate(self, p):
+        # eq 4 = PD / duration
+        expected = single_node.deadlock_probability(p) / p.transaction_duration
+        assert single_node.transaction_deadlock_rate(p) == pytest.approx(expected)
+
+    def test_node_deadlock_rate(self, p):
+        # eq 5 = eq 4 x Transactions
+        expected = (
+            single_node.transaction_deadlock_rate(p) * p.transactions
+        )
+        assert single_node.node_deadlock_rate(p) == pytest.approx(expected)
+
+    def test_fifth_power_in_actions(self, p):
+        r1 = single_node.node_deadlock_rate(p)
+        r2 = single_node.node_deadlock_rate(p.with_(actions=8))
+        assert r2 / r1 == pytest.approx(2**5)
+
+    def test_quadratic_in_tps(self, p):
+        r1 = single_node.node_deadlock_rate(p)
+        r2 = single_node.node_deadlock_rate(p.with_(tps=30))
+        assert r2 / r1 == pytest.approx(9.0)
+
+    def test_node_wait_rate(self, p):
+        assert single_node.node_wait_rate(p) == pytest.approx(
+            single_node.wait_probability(p) * p.tps
+        )

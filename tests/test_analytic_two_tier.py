@@ -1,0 +1,55 @@
+"""Tests for the two-tier analytic derivations."""
+
+import pytest
+
+from repro.analytic import ModelParameters, lazy_group, lazy_master, two_tier
+
+
+@pytest.fixture()
+def p():
+    return ModelParameters(db_size=10_000, nodes=4, tps=5, actions=4,
+                           action_time=0.01, disconnect_time=4.0)
+
+
+def test_base_deadlock_rate_is_equation_19(p):
+    assert two_tier.base_deadlock_rate(p) == pytest.approx(
+        lazy_master.deadlock_rate(p)
+    )
+
+
+def test_zero_reconciliation_when_all_commute(p):
+    assert two_tier.reconciliation_rate(p, non_commuting_fraction=0.0) == 0.0
+
+
+def test_reconciliation_scales_with_non_commuting_fraction(p):
+    full = two_tier.reconciliation_rate(p, non_commuting_fraction=1.0)
+    half = two_tier.reconciliation_rate(p, non_commuting_fraction=0.5)
+    assert full == pytest.approx(lazy_group.mobile_reconciliation_rate(p))
+    assert half == pytest.approx(full / 2)
+
+
+def test_non_commuting_fraction_validated(p):
+    with pytest.raises(ValueError):
+        two_tier.reconciliation_rate(p, non_commuting_fraction=1.5)
+    with pytest.raises(ValueError):
+        two_tier.reconciliation_rate(p, non_commuting_fraction=-0.1)
+
+
+def test_expected_retries_small_in_dilute_regime(p):
+    retries = two_tier.expected_retries_per_base_txn(p)
+    assert 0 <= retries < 0.01
+
+
+def test_expected_retries_grow_with_load(p):
+    low = two_tier.expected_retries_per_base_txn(p)
+    high = two_tier.expected_retries_per_base_txn(p.with_(tps=50))
+    assert high > low
+
+
+def test_expected_retries_zero_load(p):
+    assert two_tier.expected_retries_per_base_txn(p.with_(tps=0)) == 0.0
+
+
+def test_system_delusion_is_identically_zero(p):
+    assert two_tier.system_delusion(p) == 0.0
+    assert two_tier.system_delusion(p.with_(nodes=100, tps=1000)) == 0.0

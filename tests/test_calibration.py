@@ -1,0 +1,60 @@
+"""Tests for automatic regime calibration."""
+
+import pytest
+
+from repro.analytic import ModelParameters
+from repro.exceptions import ConfigurationError
+from repro.harness.calibration import CalibrationResult, calibrate_db_size
+
+
+def base_params():
+    return ModelParameters(db_size=100, nodes=3, tps=4, actions=3,
+                           action_time=0.01)
+
+
+def test_finds_regime_near_target():
+    result = calibrate_db_size(
+        base_params(),
+        target_rate=0.2,  # deadlocks/s
+        duration=60.0,
+        tolerance=0.6,
+    )
+    assert isinstance(result, CalibrationResult)
+    assert result.measured_rate > 0
+    assert result.relative_error <= 0.6 or result.probes >= 3
+    assert result.params.db_size >= 8
+
+
+def test_wait_rate_metric():
+    result = calibrate_db_size(
+        base_params(),
+        target_rate=2.0,
+        metric=lambda r: r.rates.wait_rate,
+        duration=40.0,
+        tolerance=0.5,
+    )
+    assert result.measured_rate == pytest.approx(2.0, rel=0.8)
+
+
+def test_unreachable_target_raises():
+    light = ModelParameters(db_size=100, nodes=2, tps=0.2, actions=2,
+                            action_time=0.001)
+    with pytest.raises(ConfigurationError):
+        calibrate_db_size(light, target_rate=100.0, duration=10.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        calibrate_db_size(base_params(), target_rate=0)
+    with pytest.raises(ConfigurationError):
+        calibrate_db_size(base_params(), target_rate=1, tolerance=2.0)
+    with pytest.raises(ConfigurationError):
+        calibrate_db_size(base_params(), target_rate=1, min_db=10, max_db=5)
+
+
+def test_probe_budget_respected():
+    result = calibrate_db_size(
+        base_params(), target_rate=0.15, duration=30.0, max_probes=4,
+        tolerance=0.1,  # tight: will exhaust the budget
+    )
+    assert result.probes <= 4

@@ -1,0 +1,135 @@
+"""Tests for cascading rejection of dependent tentative transactions.
+
+Paper section 7: "If the acceptance criteria requires the base and tentative
+transaction have identical outputs, then subsequent transactions reading
+tentative results written by T will fail too."
+"""
+
+import pytest
+
+from repro.core import (
+    AlwaysAccept,
+    IdenticalOutputs,
+    NonNegativeOutputs,
+    TwoTierSystem,
+)
+from repro.core.tentative import TentativeStatus
+from repro.txn.ops import IncrementOp, ReadOp, WriteOp
+
+
+def make(cascade=True, **kw):
+    kw.setdefault("num_base", 1)
+    kw.setdefault("num_mobile", 1)
+    kw.setdefault("db_size", 10)
+    kw.setdefault("action_time", 0.001)
+    kw.setdefault("initial_value", 100)
+    return TwoTierSystem(cascade_rejections=cascade, **kw)
+
+
+def test_dependent_transaction_cascades():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    # T1 overdraws (will be rejected); T2 spends from the same object
+    mobile.submit_tentative([IncrementOp(0, -150)], NonNegativeOutputs())
+    mobile.submit_tentative([IncrementOp(0, -10)], IdenticalOutputs())
+    system.run()
+    system.reconnect_mobile(1)
+    system.run()
+    assert system.metrics.tentative_rejected == 2
+    rejected = mobile.rejected_transactions
+    assert len(rejected) == 2
+    assert "depends on" in rejected[1].diagnostic
+    # the dependent transaction never executed at the base: balance intact
+    assert system.nodes[0].store.value(0) == 100
+
+
+def test_independent_transactions_do_not_cascade():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([IncrementOp(0, -150)], NonNegativeOutputs())
+    mobile.submit_tentative([IncrementOp(5, -10)], AlwaysAccept())  # other obj
+    system.run()
+    system.reconnect_mobile(1)
+    system.run()
+    assert system.metrics.tentative_rejected == 1
+    assert system.metrics.tentative_accepted == 1
+    assert system.nodes[0].store.value(5) == 90
+
+
+def test_cascade_chains_through_multiple_transactions():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([IncrementOp(0, -150)], NonNegativeOutputs())  # reject
+    mobile.submit_tentative([WriteOp(1, 7), ReadOp(0)], AlwaysAccept())   # reads 0
+    mobile.submit_tentative([ReadOp(1), IncrementOp(2, -1)], AlwaysAccept())
+    system.run()
+    system.reconnect_mobile(1)
+    system.run()
+    # T2 touched tainted object 0 -> cascades; its write to 1 taints 1;
+    # T3 read 1 -> cascades too
+    assert system.metrics.tentative_rejected == 3
+    assert system.metrics.tentative_accepted == 0
+    assert system.nodes[0].store.value(1) == 100
+    assert system.nodes[0].store.value(2) == 100
+
+
+def test_cascade_off_replays_everything():
+    system = make(cascade=False)
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([IncrementOp(0, -150)], NonNegativeOutputs())
+    mobile.submit_tentative([IncrementOp(0, -10)], NonNegativeOutputs())
+    system.run()
+    system.reconnect_mobile(1)
+    system.run()
+    # with weaker acceptance and no cascade, the second debit clears on the
+    # real balance: "weaker acceptance criteria are possible"
+    assert system.metrics.tentative_rejected == 1
+    assert system.metrics.tentative_accepted == 1
+    assert system.nodes[0].store.value(0) == 90
+
+
+def test_cascaded_rejections_send_notices():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([IncrementOp(0, -150)], NonNegativeOutputs())
+    mobile.submit_tentative([IncrementOp(0, -10)], IdenticalOutputs())
+    system.run()
+    system.reconnect_mobile(1)
+    system.run()
+    assert len(mobile.notices) == 2
+    statuses = [status for _, status, _ in mobile.notices]
+    assert statuses == [TentativeStatus.REJECTED, TentativeStatus.REJECTED]
+
+
+def test_accepted_predecessors_never_taint():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([IncrementOp(0, -10)], NonNegativeOutputs())
+    mobile.submit_tentative([IncrementOp(0, -10)], NonNegativeOutputs())
+    system.run()
+    system.reconnect_mobile(1)
+    system.run()
+    assert system.metrics.tentative_accepted == 2
+    assert system.nodes[0].store.value(0) == 80
+
+
+def test_base_stays_converged_through_cascades():
+    system = make(num_base=2, num_mobile=2)
+    for mid in (2, 3):
+        system.disconnect_mobile(mid)
+    for mid in (2, 3):
+        mobile = system.mobile(mid)
+        mobile.submit_tentative([IncrementOp(0, -80)], NonNegativeOutputs())
+        mobile.submit_tentative([IncrementOp(0, -80)], NonNegativeOutputs())
+    system.run()
+    for mid in (2, 3):
+        system.reconnect_mobile(mid)
+    system.run()
+    assert system.base_divergence() == 0
+    assert system.divergence() == 0

@@ -1,0 +1,94 @@
+"""Tests for the checkbook scenario — the paper's running example."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workload.checkbook import CheckbookScenario
+
+
+def test_the_papers_story():
+    """$1,000 account; you and your spouse write checks totalling $2,000 —
+    lazy replication would allow both, the bank (two-tier) bounces one."""
+    s = CheckbookScenario(accounts=1, holders=2, initial_balance=1000.0)
+    s.disconnect_all()
+    s.write_check(0, 0, 1000.0)
+    s.write_check(1, 0, 1000.0)
+    s.system.run()
+    # both spouses see their own tentative balance at zero
+    assert s.book_balance(0, 0) == 0.0
+    assert s.book_balance(1, 0) == 0.0
+    s.clear_checks()
+    # the bank honored exactly one check
+    assert s.bank_balance(0) == 0.0
+    bounced = s.bounced_checks()
+    assert len(bounced) == 1
+    assert s.system.metrics.tentative_accepted == 1
+    assert s.system.metrics.tentative_rejected == 1
+    assert s.system.base_converged()
+
+
+def test_within_funds_checks_all_clear():
+    s = CheckbookScenario(accounts=1, holders=2, initial_balance=1000.0)
+    s.disconnect_all()
+    s.write_check(0, 0, 300.0)
+    s.write_check(1, 0, 400.0)
+    s.system.run()
+    s.clear_checks()
+    assert s.bank_balance(0) == 300.0
+    assert s.bounced_checks() == {}
+
+
+def test_deposit_then_check_in_order():
+    s = CheckbookScenario(accounts=1, holders=1, initial_balance=0.0)
+    s.disconnect_all()
+    s.deposit(0, 0, 500.0)
+    s.write_check(0, 0, 200.0)
+    s.system.run()
+    s.clear_checks()
+    assert s.bank_balance(0) == 300.0
+    assert s.bounced_checks() == {}
+
+
+def test_check_against_empty_account_bounces():
+    s = CheckbookScenario(accounts=1, holders=1, initial_balance=0.0)
+    s.disconnect_all()
+    s.write_check(0, 0, 10.0)
+    s.system.run()
+    s.clear_checks()
+    assert s.bank_balance(0) == 0.0
+    assert 0 in s.bounced_checks()
+
+
+def test_books_resync_after_clearing():
+    s = CheckbookScenario(accounts=1, holders=2, initial_balance=100.0)
+    s.disconnect_all()
+    s.write_check(0, 0, 80.0)
+    s.write_check(1, 0, 70.0)
+    s.system.run()
+    s.clear_checks()
+    # after the exchange, both checkbooks show the bank's (master) balance
+    assert s.book_balance(0, 0) == s.bank_balance(0)
+    assert s.book_balance(1, 0) == s.bank_balance(0)
+
+
+def test_multiple_accounts_are_independent():
+    s = CheckbookScenario(accounts=3, holders=2, initial_balance=100.0)
+    s.disconnect_all()
+    s.write_check(0, 0, 100.0)
+    s.write_check(1, 1, 100.0)
+    s.system.run()
+    s.clear_checks()
+    assert s.bank_balance(0) == 0.0
+    assert s.bank_balance(1) == 0.0
+    assert s.bank_balance(2) == 100.0
+    assert s.bounced_checks() == {}
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        CheckbookScenario(accounts=0)
+    s = CheckbookScenario()
+    with pytest.raises(ConfigurationError):
+        s.write_check(0, 0, -5.0)
+    with pytest.raises(ConfigurationError):
+        s.deposit(0, 0, 0.0)

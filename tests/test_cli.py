@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Table 2" in out
+    assert "DB_Size" in out
+
+
+def test_danger_command(capsys):
+    assert main(["danger", "--nodes", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "eq 12" in out
+    assert "N^3.0" in out
+    assert "N^2.0" in out  # lazy-master quadratic
+
+
+def test_danger_with_disconnects(capsys):
+    assert main(["danger", "--nodes", "8", "--disconnect-time", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "eq 18" in out
+
+
+def test_simulate_command(capsys):
+    assert main([
+        "simulate", "--strategy", "lazy-master", "--nodes", "2",
+        "--db-size", "50", "--tps", "2", "--actions", "2",
+        "--action-time", "0.001", "--duration", "10",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "commit_rate" in out
+    assert "divergence after drain: 0" in out
+
+
+def test_simulate_two_tier_commutative(capsys):
+    assert main([
+        "simulate", "--strategy", "two-tier", "--nodes", "2",
+        "--db-size", "50", "--tps", "2", "--actions", "2",
+        "--action-time", "0.001", "--duration", "10",
+        "--disconnect-time", "2", "--commutative",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tentative_accepted" in out
+
+
+def test_simulate_writes_json(tmp_path, capsys):
+    out_file = tmp_path / "run.json"
+    assert main([
+        "simulate", "--strategy", "lazy-master", "--nodes", "2",
+        "--db-size", "50", "--tps", "2", "--actions", "2",
+        "--action-time", "0.001", "--duration", "10",
+        "--json", str(out_file),
+    ]) == 0
+    import json
+
+    data = json.loads(out_file.read_text())
+    assert data["config"]["strategy"] == "lazy-master"
+    assert data["counters"]["commits"] > 0
+
+
+def test_simulate_with_trace_sample(capsys):
+    assert main([
+        "simulate", "--strategy", "eager-group", "--nodes", "2",
+        "--db-size", "30", "--tps", "3", "--actions", "2",
+        "--action-time", "0.005", "--duration", "8",
+        "--trace", "commit",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "trace sample" in out
+    assert "commit" in out
+
+
+def test_compare_command(capsys):
+    assert main([
+        "compare", "--nodes", "2", "--db-size", "60", "--tps", "2",
+        "--actions", "2", "--action-time", "0.001", "--duration", "10",
+    ]) == 0
+    out = capsys.readouterr().out
+    for name in ["eager-group", "lazy-master", "two-tier"]:
+        assert name in out
+
+
+def test_verify_command_serializable_strategy(capsys):
+    code = main([
+        "verify", "--strategy", "eager-master", "--nodes", "2",
+        "--db-size", "20", "--tps", "2", "--actions", "2",
+        "--action-time", "0.002", "--duration", "10",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "one-copy serializable: True" in out
+    assert "all invariants hold" in out
+
+
+def test_verify_command_lazy_group_reports_anomaly(capsys):
+    code = main([
+        "verify", "--strategy", "lazy-group", "--nodes", "3",
+        "--db-size", "5", "--tps", "3", "--actions", "2",
+        "--action-time", "0.002", "--message-delay", "0.5",
+        "--duration", "15",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0  # the anomaly is expected for lazy-group
+    assert "one-copy serializable: False" in out
+    assert "anomaly witness" in out
+
+
+def test_parser_rejects_unknown_strategy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "--strategy", "psychic"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

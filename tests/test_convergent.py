@@ -1,0 +1,173 @@
+"""Tests for the section-6 convergent replication schemes."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.replication.convergent import (
+    ConvergentReplica,
+    diverged_objects,
+    exchange,
+    fully_sync,
+)
+
+
+def make(n=3, db_size=5):
+    return [ConvergentReplica(node_id=i, db_size=db_size) for i in range(n)]
+
+
+class TestLocalForms:
+    def test_replace_sets_value(self):
+        (r,) = make(1)
+        r.replace(0, 42)
+        assert r.value(0) == 42
+
+    def test_append_accumulates_in_timestamp_order(self):
+        (r,) = make(1)
+        r.append(0, "first")
+        r.append(0, "second")
+        assert [n.body for n in r.notes(0)] == ["first", "second"]
+
+    def test_increment_materializes(self):
+        (r,) = make(1)
+        r.increment(0, 5)
+        r.increment(0, -2)
+        assert r.value(0) == 3
+
+    def test_replace_plus_increments(self):
+        (r,) = make(1)
+        r.replace(0, 100)
+        r.increment(0, 5)
+        assert r.value(0) == 105
+
+    def test_non_numeric_replace_values_pass_through(self):
+        """Regression: titles/tuples must not collide with the increment
+        materialisation (found by the notes_gossip example)."""
+        (r,) = make(1)
+        r.replace(0, "Design doc")
+        assert r.value(0) == "Design doc"
+        r.replace(1, ("a", "b"))
+        assert r.value(1) == ("a", "b")
+        assert r.snapshot()[0] == "Design doc"
+
+    def test_invalid_db_size(self):
+        with pytest.raises(ConfigurationError):
+            ConvergentReplica(0, 0)
+
+
+class TestConvergence:
+    def test_replace_converges_to_latest(self):
+        a, b, c = make(3)
+        a.replace(0, 1)
+        b.replace(0, 2)  # concurrent with a's
+        fully_sync([a, b, c])
+        assert diverged_objects([a, b, c]) == 0
+
+    def test_appends_never_lost(self):
+        """'The resulting state contains the committed appends.'"""
+        a, b, c = make(3)
+        a.append(0, "from-a")
+        b.append(0, "from-b")
+        c.append(0, "from-c")
+        fully_sync([a, b, c])
+        for replica in (a, b, c):
+            assert {n.body for n in replica.notes(0)} == {
+                "from-a", "from-b", "from-c",
+            }
+
+    def test_increments_never_lost(self):
+        a, b, c = make(3)
+        a.increment(0, 100)
+        b.increment(0, 10)
+        c.increment(0, 1)
+        fully_sync([a, b, c])
+        assert all(r.value(0) == 111 for r in (a, b, c))
+
+    def test_sync_is_idempotent(self):
+        a, b = make(2)
+        a.replace(0, 5)
+        a.increment(1, 3)
+        exchange(a, b)
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        exchange(a, b)
+        assert a.snapshot() == snap_a
+        assert b.snapshot() == snap_b
+
+    def test_gossip_order_does_not_matter(self):
+        def run(order):
+            replicas = make(3)
+            replicas[0].replace(0, 7)
+            replicas[1].increment(1, 3)
+            replicas[2].append(2, "x")
+            for i, j in order:
+                exchange(replicas[i], replicas[j])
+            return [r.snapshot() for r in replicas]
+
+        forward = run([(0, 1), (1, 2), (0, 2)])
+        backward = run([(0, 2), (1, 2), (0, 1)])
+        assert forward[0] == backward[0]
+        assert diverged_objects_from_snaps(forward) == 0
+
+
+def diverged_objects_from_snaps(snaps):
+    first, rest = snaps[0], snaps[1:]
+    return sum(1 for k, v in first.items() if any(s[k] != v for s in rest))
+
+
+class TestLostUpdates:
+    def test_concurrent_replaces_lose_one_update(self):
+        """'Timestamp schemes are vulnerable to lost updates.'"""
+        a, b = make(2)
+        a.replace(0, 111)
+        b.replace(0, 222)
+        fully_sync([a, b])
+        total_lost = a.lost_updates + b.lost_updates
+        assert total_lost >= 1
+        assert a.value(0) == b.value(0)
+
+    def test_conflicts_are_reported(self):
+        """Access: 'Rejected updates are reported.'"""
+        a, b = make(2)
+        a.replace(0, 1)
+        b.replace(0, 2)
+        fully_sync([a, b])
+        reports = a.conflicts_reported + b.conflicts_reported
+        assert reports
+        oid, mine, theirs = reports[0]
+        assert oid == 0
+
+    def test_sequential_replaces_lose_nothing(self):
+        a, b = make(2)
+        a.replace(0, 1)
+        fully_sync([a, b])
+        b.replace(0, 2)
+        fully_sync([a, b])
+        assert a.lost_updates + b.lost_updates == 0
+        assert a.value(0) == b.value(0) == 2
+
+    def test_commutative_increments_lose_nothing_ever(self):
+        a, b = make(2)
+        a.increment(0, 100)
+        b.increment(0, 10)
+        fully_sync([a, b])
+        assert a.lost_updates + b.lost_updates == 0
+        assert a.value(0) == 110
+
+
+class TestScale:
+    def test_many_replicas_many_conflicts_still_converge(self):
+        replicas = make(6, db_size=3)
+        for i, replica in enumerate(replicas):
+            for oid in range(3):
+                replica.replace(oid, i * 10 + oid)
+        rounds = fully_sync(replicas)
+        assert diverged_objects(replicas) == 0
+        assert rounds >= 1
+
+    def test_fixed_round_gossip(self):
+        replicas = make(4)
+        replicas[0].replace(0, 9)
+        fully_sync(replicas, rounds=1)
+        assert diverged_objects(replicas) == 0
+
+    def test_single_replica_trivially_converged(self):
+        assert diverged_objects(make(1)) == 0

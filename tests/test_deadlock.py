@@ -1,0 +1,173 @@
+"""Tests for the waits-for graph and deadlock detection."""
+
+import pytest
+
+from repro.exceptions import DeadlockAbort
+from repro.sim import Engine
+from repro.storage.deadlock import (
+    DeadlockDetector,
+    oldest_victim,
+    youngest_victim,
+)
+from repro.storage.lock_manager import LockManager, LockMode
+
+
+class FakeTxn:
+    _next = iter(range(1, 10_000)).__next__
+
+    def __init__(self):
+        self.txn_id = FakeTxn._next()
+
+    def __repr__(self):
+        return f"T{self.txn_id}"
+
+
+def make_lm(detector=None, engine=None):
+    engine = engine or Engine()
+    detector = detector or DeadlockDetector()
+    return LockManager(engine, 0, detector), detector, engine
+
+
+class TestCycleDetection:
+    def test_no_cycle_in_chain(self):
+        det = DeadlockDetector()
+        a, b, c = FakeTxn(), FakeTxn(), FakeTxn()
+        det.set_waits(a, [b], manager=None, oid=1, request=None)
+        det.set_waits(b, [c], manager=None, oid=2, request=None)
+        assert det.find_cycle(a) is None
+
+    def test_two_cycle(self):
+        det = DeadlockDetector()
+        a, b = FakeTxn(), FakeTxn()
+        det.set_waits(a, [b], manager=None, oid=1, request=None)
+        det.set_waits(b, [a], manager=None, oid=2, request=None)
+        cycle = det.find_cycle(a)
+        assert cycle is not None
+        assert set(cycle) == {a, b}
+
+    def test_three_cycle(self):
+        det = DeadlockDetector()
+        a, b, c = FakeTxn(), FakeTxn(), FakeTxn()
+        det.set_waits(a, [b], manager=None, oid=1, request=None)
+        det.set_waits(b, [c], manager=None, oid=2, request=None)
+        det.set_waits(c, [a], manager=None, oid=3, request=None)
+        cycle = det.find_cycle(a)
+        assert cycle is not None
+        assert set(cycle) == {a, b, c}
+
+    def test_cycle_not_involving_start_found_if_reachable(self):
+        det = DeadlockDetector()
+        a, b, c = FakeTxn(), FakeTxn(), FakeTxn()
+        # a -> b <-> c ; the b-c cycle is reachable from a
+        det.set_waits(a, [b], manager=None, oid=1, request=None)
+        det.set_waits(b, [c], manager=None, oid=2, request=None)
+        det.set_waits(c, [b], manager=None, oid=3, request=None)
+        cycle = det.find_cycle(a)
+        assert cycle is not None
+        assert set(cycle) == {b, c}
+
+    def test_clear_waits_breaks_cycle(self):
+        det = DeadlockDetector()
+        a, b = FakeTxn(), FakeTxn()
+        det.set_waits(a, [b], manager=None, oid=1, request=None)
+        det.set_waits(b, [a], manager=None, oid=2, request=None)
+        det.clear_waits(b)
+        assert det.find_cycle(a) is None
+
+    def test_self_edge_excluded(self):
+        det = DeadlockDetector()
+        a = FakeTxn()
+        det.set_waits(a, [a], manager=None, oid=1, request=None)
+        assert det.find_cycle(a) is None
+
+
+class TestVictimPolicies:
+    def test_youngest_victim(self):
+        a, b = FakeTxn(), FakeTxn()  # b is younger (higher id)
+        assert youngest_victim([a, b]) is b
+
+    def test_oldest_victim(self):
+        a, b = FakeTxn(), FakeTxn()
+        assert oldest_victim([a, b]) is a
+
+
+class TestIntegratedDeadlock:
+    """Deadlocks arising from real lock acquisition."""
+
+    def test_classic_two_txn_deadlock_aborts_youngest(self):
+        lm, det, engine = make_lm()
+        a, b = FakeTxn(), FakeTxn()
+        lm.acquire(a, 1, LockMode.EXCLUSIVE)
+        lm.acquire(b, 2, LockMode.EXCLUSIVE)
+        ea = lm.acquire(a, 2, LockMode.EXCLUSIVE)  # a waits for b
+        assert ea is not None and ea.pending
+        eb = lm.acquire(b, 1, LockMode.EXCLUSIVE)  # b waits for a -> cycle
+        # victim is b (youngest): its request failed
+        assert isinstance(eb.exception, DeadlockAbort)
+        assert det.cycles_found == 1
+        # a is still waiting; releasing b's locks lets it proceed
+        lm.release_all(b)
+        assert ea.settled and ea.exception is None
+
+    def test_deadlock_hook_fires(self):
+        engine = Engine()
+        det = DeadlockDetector()
+        victims = []
+        lm = LockManager(engine, 0, det, on_deadlock=victims.append)
+        a, b = FakeTxn(), FakeTxn()
+        lm.acquire(a, 1, LockMode.EXCLUSIVE)
+        lm.acquire(b, 2, LockMode.EXCLUSIVE)
+        lm.acquire(a, 2, LockMode.EXCLUSIVE)
+        lm.acquire(b, 1, LockMode.EXCLUSIVE)
+        assert victims == [b]
+
+    def test_oldest_victim_policy_changes_casualty(self):
+        engine = Engine()
+        det = DeadlockDetector(victim_policy=oldest_victim)
+        lm = LockManager(engine, 0, det)
+        a, b = FakeTxn(), FakeTxn()
+        lm.acquire(a, 1, LockMode.EXCLUSIVE)
+        lm.acquire(b, 2, LockMode.EXCLUSIVE)
+        ea = lm.acquire(a, 2, LockMode.EXCLUSIVE)
+        eb = lm.acquire(b, 1, LockMode.EXCLUSIVE)
+        assert isinstance(ea.exception, DeadlockAbort)  # a (oldest) dies
+        assert eb.pending
+
+    def test_cross_node_cycle_detected_with_shared_detector(self):
+        """An eager transaction holds locks at several nodes; the shared
+        detector must see cycles spanning lock managers."""
+        engine = Engine()
+        det = DeadlockDetector()
+        lm0 = LockManager(engine, 0, det)
+        lm1 = LockManager(engine, 1, det)
+        a, b = FakeTxn(), FakeTxn()
+        lm0.acquire(a, 1, LockMode.EXCLUSIVE)  # a holds obj1@node0
+        lm1.acquire(b, 1, LockMode.EXCLUSIVE)  # b holds obj1@node1
+        ea = lm1.acquire(a, 1, LockMode.EXCLUSIVE)  # a waits at node1
+        eb = lm0.acquire(b, 1, LockMode.EXCLUSIVE)  # b waits at node0 -> cycle
+        assert isinstance(eb.exception, DeadlockAbort)
+        assert ea.pending
+
+    def test_three_way_cycle(self):
+        lm, det, engine = make_lm()
+        a, b, c = FakeTxn(), FakeTxn(), FakeTxn()
+        lm.acquire(a, 1, LockMode.EXCLUSIVE)
+        lm.acquire(b, 2, LockMode.EXCLUSIVE)
+        lm.acquire(c, 3, LockMode.EXCLUSIVE)
+        lm.acquire(a, 2, LockMode.EXCLUSIVE)  # a -> b
+        lm.acquire(b, 3, LockMode.EXCLUSIVE)  # b -> c
+        ec = lm.acquire(c, 1, LockMode.EXCLUSIVE)  # c -> a: cycle
+        assert isinstance(ec.exception, DeadlockAbort)  # c is youngest
+
+    def test_no_false_positives_on_parallel_waiters(self):
+        lm, det, engine = make_lm()
+        holder = FakeTxn()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        waiters = [FakeTxn() for _ in range(5)]
+        events = [lm.acquire(w, 1, LockMode.EXCLUSIVE) for w in waiters]
+        assert det.cycles_found == 0
+        assert all(e.pending for e in events)
+
+    def test_abort_waiting_txn_unknown_is_noop(self):
+        det = DeadlockDetector()
+        det.abort_waiting_txn(FakeTxn(), DeadlockAbort())  # must not raise

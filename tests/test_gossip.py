@@ -1,0 +1,106 @@
+"""Tests for the anti-entropy gossip driver."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.replication.convergent import ConvergentReplica
+from repro.replication.gossip import GossipDriver
+from repro.sim import Engine
+
+
+def make(n=4, db_size=5):
+    engine = Engine()
+    replicas = [ConvergentReplica(i, db_size) for i in range(n)]
+    return engine, replicas
+
+
+def test_gossip_converges_replicas():
+    engine, replicas = make()
+    replicas[0].replace(0, 42)
+    replicas[2].increment(1, 7)
+    driver = GossipDriver(engine, replicas, period=1.0)
+    driver.start(duration=20.0)
+    engine.run()
+    assert driver.converged()
+    assert all(r.value(0) == 42 for r in replicas)
+    assert all(r.value(1) == 7 for r in replicas)
+
+
+def test_random_partner_gossip_converges_too():
+    engine, replicas = make(n=6)
+    for i, replica in enumerate(replicas):
+        replica.increment(0, i + 1)
+    driver = GossipDriver(engine, replicas, period=1.0,
+                          random_partners=True, seed=3)
+    driver.start(duration=40.0)
+    engine.run()
+    assert driver.converged()
+    assert replicas[0].value(0) == sum(range(1, 7))
+
+
+def test_round_robin_partner_never_self():
+    engine, replicas = make(n=5)
+    driver = GossipDriver(engine, replicas, period=1.0)
+    stream = driver.rng.stream("x")
+    for index in range(5):
+        for round_number in range(12):
+            assert driver._pick_partner(index, round_number, stream) != index
+
+
+def test_random_partner_never_self():
+    engine, replicas = make(n=5)
+    driver = GossipDriver(engine, replicas, period=1.0, random_partners=True)
+    stream = driver.rng.stream("partners/0")
+    for round_number in range(50):
+        assert driver._pick_partner(2, round_number, stream) != 2
+
+
+def test_updates_during_gossip_still_converge_after_quiescence():
+    engine, replicas = make()
+    driver = GossipDriver(engine, replicas, period=0.5)
+    driver.start(duration=30.0)
+
+    def updater():
+        for step in range(10):
+            yield engine.timeout(1.0)
+            replicas[step % 4].increment(2, 1)
+
+    engine.process(updater())
+    engine.run()
+    assert driver.converged()
+    assert replicas[0].value(2) == 10
+
+
+def test_exchange_count_tracks_schedule():
+    engine, replicas = make(n=2)
+    driver = GossipDriver(engine, replicas, period=2.0)
+    driver.start(duration=10.0)
+    engine.run()
+    # each of 2 replicas exchanges every 2s within 10s (minus stagger)
+    assert 6 <= driver.exchanges <= 10
+
+
+def test_slower_gossip_means_longer_divergence_window():
+    def staleness(period):
+        engine, replicas = make(n=3)
+        driver = GossipDriver(engine, replicas, period=period)
+        driver.start(duration=100.0)
+        replicas[0].replace(0, 99)
+        # run until everyone has the update, measure the time
+        while not driver.converged() and engine.peek() is not None:
+            engine.run(until=engine.peek())
+        return engine.now
+
+    assert staleness(5.0) > staleness(0.5)
+
+
+def test_validation():
+    engine, replicas = make(n=1)
+    with pytest.raises(ConfigurationError):
+        GossipDriver(engine, replicas, period=1.0)
+    engine, replicas = make()
+    with pytest.raises(ConfigurationError):
+        GossipDriver(engine, replicas, period=0)
+    driver = GossipDriver(engine, replicas, period=1.0)
+    with pytest.raises(ConfigurationError):
+        driver.start(duration=0)

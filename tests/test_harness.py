@@ -1,0 +1,167 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.analytic import ModelParameters
+from repro.exceptions import ConfigurationError
+from repro.harness import (
+    ExperimentConfig,
+    analytic_vs_simulated,
+    run_experiment,
+    strategy_comparison,
+)
+from repro.harness.comparison import comparison_table, strategy_table
+from repro.harness.experiment import STRATEGIES, build_system
+from repro.harness.figures import render_sweep, shape_summary, shapes_agree
+
+
+def small_params(**kw):
+    base = dict(db_size=60, nodes=2, tps=2, actions=2, action_time=0.001)
+    base.update(kw)
+    return ModelParameters(**base)
+
+
+class TestConfig:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(strategy="psychic", params=small_params())
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(strategy="lazy-master", params=small_params(),
+                             duration=0)
+
+    def test_build_system_every_strategy(self):
+        for strategy in STRATEGIES:
+            config = ExperimentConfig(strategy=strategy, params=small_params())
+            system = build_system(config)
+            assert system.db_size == 60
+
+    def test_disconnects_rejected_for_master_strategies(self):
+        config = ExperimentConfig(
+            strategy="lazy-master",
+            params=small_params(disconnect_time=1.0),
+            duration=5.0,
+        )
+        with pytest.raises(ConfigurationError):
+            run_experiment(config)
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_each_strategy_runs_and_converges(self, strategy):
+        result = run_experiment(
+            ExperimentConfig(strategy=strategy, params=small_params(),
+                             duration=20.0)
+        )
+        assert result.metrics.commits > 0
+        assert result.divergence == 0
+        assert result.rates.commit_rate > 0
+
+    def test_rates_divide_by_duration(self):
+        result = run_experiment(
+            ExperimentConfig(strategy="lazy-master", params=small_params(),
+                             duration=25.0)
+        )
+        assert result.rates.commit_rate == pytest.approx(
+            result.metrics.commits / 25.0
+        )
+
+    def test_seed_determinism(self):
+        def run(seed):
+            result = run_experiment(
+                ExperimentConfig(strategy="lazy-group", params=small_params(),
+                                 duration=20.0, seed=seed)
+            )
+            return result.metrics.as_dict()
+
+        assert run(3) == run(3)
+
+    def test_warmup_excluded_from_measurement(self):
+        base = run_experiment(
+            ExperimentConfig(strategy="lazy-master", params=small_params(),
+                             duration=20.0, seed=4)
+        )
+        warmed = run_experiment(
+            ExperimentConfig(strategy="lazy-master", params=small_params(),
+                             duration=20.0, seed=4, warmup=20.0)
+        )
+        # warmed run generated ~2x the transactions but reports only the
+        # measured window's worth of commits
+        assert warmed.metrics.commits == pytest.approx(
+            base.metrics.commits, rel=0.35
+        )
+        assert warmed.rates.commit_rate == pytest.approx(
+            base.rates.commit_rate, rel=0.35
+        )
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(strategy="lazy-master", params=small_params(),
+                             warmup=-1.0)
+
+    def test_two_tier_base_divergence_reported(self):
+        result = run_experiment(
+            ExperimentConfig(
+                strategy="two-tier",
+                params=small_params(disconnect_time=2.0),
+                duration=20.0,
+            )
+        )
+        assert result.extra["base_divergence"] == 0
+
+
+class TestComparisons:
+    def test_analytic_vs_simulated_rows(self):
+        from repro.analytic import lazy_master as lm_eqs
+
+        rows = analytic_vs_simulated(
+            strategy="lazy-master",
+            base_params=small_params(),
+            parameter="nodes",
+            values=[1, 2],
+            analytic_fn=lm_eqs.deadlock_rate,
+            measure=lambda r: r.deadlock_rate,
+            duration=10.0,
+        )
+        assert len(rows) == 2
+        assert rows[0].x == 1.0
+        assert rows[1].analytic > rows[0].analytic
+        text = comparison_table(rows, "nodes", "deadlocks/s", title="t")
+        assert "nodes" in text
+
+    def test_strategy_comparison_table(self):
+        results = strategy_comparison(
+            small_params(), strategies=("lazy-master", "eager-group"),
+            duration=10.0,
+        )
+        assert set(results) == {"lazy-master", "eager-group"}
+        text = strategy_table(results)
+        assert "lazy-master" in text and "eager-group" in text
+
+
+class TestFigures:
+    def test_render_sweep_includes_caption(self):
+        from repro.analytic import eager
+
+        text = render_sweep(
+            eager.total_deadlock_rate,
+            small_params(db_size=10_000, tps=10, actions=5, action_time=0.01),
+            "nodes",
+            [1, 2, 4, 8],
+            y_label="deadlocks/s",
+        )
+        assert "cubic" in text
+        assert "#" in text
+
+    def test_shape_summary_and_agreement(self):
+        exponent, caption = shape_summary([1, 2, 4], [1, 8, 64])
+        assert exponent == pytest.approx(3.0)
+        assert "cubic" in caption
+        assert shapes_agree(3.0, exponent)
+        assert not shapes_agree(3.0, 1.0)
+        assert not shapes_agree(3.0, None)
+
+    def test_shape_summary_handles_flat_zero(self):
+        exponent, caption = shape_summary([1, 2, 4], [0, 0, 0])
+        assert exponent is None

@@ -1,0 +1,131 @@
+"""Cross-strategy integration tests: the paper's qualitative claims, measured.
+
+These are the section-8 summary statements turned into assertions:
+
+* eager & lazy-master: zero reconciliations, conflicts become waits/deadlocks;
+* lazy-group: reconciliations instead of deadlocks, convergent rules keep the
+  replicas identical, manual rules let them drift (system delusion);
+* two-tier: tentative rejects instead of reconciliations, master never drifts;
+* every strategy preserves all committed increments under serial or
+  serializable execution.
+"""
+
+import pytest
+
+from repro.analytic import ModelParameters
+from repro.harness import ExperimentConfig, run_experiment
+from repro.replication.eager_group import EagerGroupSystem
+from repro.replication.eager_master import EagerMasterSystem
+from repro.replication.lazy_group import LazyGroupSystem
+from repro.replication.lazy_master import LazyMasterSystem
+from repro.txn.ops import IncrementOp
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import uniform_update_profile
+
+ALL_SYSTEMS = [EagerGroupSystem, EagerMasterSystem, LazyGroupSystem,
+               LazyMasterSystem]
+
+
+@pytest.mark.parametrize("cls", ALL_SYSTEMS)
+def test_light_load_converges_everywhere(cls):
+    system = cls(num_nodes=3, db_size=100, action_time=0.001, seed=1)
+    workload = WorkloadGenerator(
+        system, uniform_update_profile(actions=2, db_size=100), tps=2.0
+    )
+    workload.start(duration=30.0)
+    system.run()
+    assert system.metrics.commits > 0
+    assert system.converged(), f"{cls.__name__} diverged"
+
+
+@pytest.mark.parametrize("cls", [EagerGroupSystem, EagerMasterSystem,
+                                 LazyMasterSystem])
+def test_serializable_strategies_never_reconcile(cls):
+    system = cls(num_nodes=3, db_size=30, action_time=0.002, seed=2)
+    workload = WorkloadGenerator(
+        system, uniform_update_profile(actions=3, db_size=30), tps=4.0
+    )
+    workload.start(duration=30.0)
+    system.run()
+    assert system.metrics.reconciliations == 0
+
+
+@pytest.mark.parametrize("cls", [EagerGroupSystem, EagerMasterSystem,
+                                 LazyMasterSystem])
+def test_increment_conservation_under_serializable_execution(cls):
+    """No lost updates: the final value equals the committed-delta sum."""
+    system = cls(num_nodes=3, db_size=10, action_time=0.001, seed=3,
+                 retry_deadlocks=True)
+    submitted = []
+    for origin in range(3):
+        for i in range(8):
+            submitted.append(system.submit(origin, [IncrementOp(4, 1)]))
+    system.run()
+    committed = sum(1 for p in submitted if p.value.state.value == "committed")
+    assert system.nodes[0].store.value(4) == committed
+    assert system.converged()
+
+
+def test_lazy_group_loses_updates_where_lazy_master_does_not():
+    """The decisive difference between the lazy columns of Table 1."""
+
+    def final_total(cls, **kw):
+        system = cls(num_nodes=3, db_size=5, action_time=0.001,
+                     message_delay=1.0, seed=4, **kw)
+        for origin in range(3):
+            system.submit(origin, [IncrementOp(0, 1)])
+        system.run()
+        assert system.converged()
+        return system.nodes[0].store.value(0)
+
+    assert final_total(LazyMasterSystem) == 3  # master serializes: all kept
+    assert final_total(LazyGroupSystem) < 3  # timestamp rule lost updates
+
+
+def test_two_tier_vs_lazy_group_on_identical_mobile_load():
+    """The paper's bottom line: same disconnected workload, lazy-group piles
+    up reconciliations while two-tier (commuting txns) has none and still
+    converges."""
+    params = ModelParameters(db_size=50, nodes=3, tps=2, actions=2,
+                             action_time=0.001, disconnect_time=4.0)
+    lazy = run_experiment(
+        ExperimentConfig(strategy="lazy-group", params=params, duration=40.0,
+                         seed=5)
+    )
+    two_tier = run_experiment(
+        ExperimentConfig(strategy="two-tier", params=params, duration=40.0,
+                         seed=5, commutative=True)
+    )
+    assert lazy.metrics.reconciliations > 0
+    assert two_tier.metrics.reconciliations == 0
+    assert two_tier.metrics.tentative_rejected == 0
+    assert two_tier.extra["base_divergence"] == 0
+
+
+def test_eager_deadlocks_exceed_lazy_master_deadlocks_at_scale():
+    """Equation 12 (N^3) versus equation 19 (N^2), measured.
+
+    High contention makes the ordering visible in a short run.
+    """
+    def deadlocks(strategy):
+        params = ModelParameters(db_size=40, nodes=4, tps=4, actions=4,
+                                 action_time=0.005)
+        result = run_experiment(
+            ExperimentConfig(strategy=strategy, params=params, duration=60.0,
+                             seed=6)
+        )
+        return result.metrics.deadlocks
+
+    assert deadlocks("eager-group") > deadlocks("lazy-master")
+
+
+def test_all_locks_released_after_quiescence():
+    for cls in ALL_SYSTEMS:
+        system = cls(num_nodes=2, db_size=20, action_time=0.001, seed=7)
+        workload = WorkloadGenerator(
+            system, uniform_update_profile(actions=2, db_size=20), tps=3.0
+        )
+        workload.start(duration=15.0)
+        system.run()
+        for node in system.nodes:
+            node.tm.assert_quiescent()

@@ -1,0 +1,91 @@
+"""Tests for the two-tier day-cycle driver (section 4's mobile scenario)."""
+
+import pytest
+
+from repro.core.acceptance import AlwaysAccept, IdenticalOutputs
+from repro.core.protocol import TwoTierSystem
+from repro.exceptions import ConfigurationError
+from repro.workload.mobile_cycle import MobileCycleDriver
+from repro.workload.profiles import uniform_update_profile
+
+
+def make_system(num_mobile=2, db_size=40):
+    return TwoTierSystem(num_base=1, num_mobile=num_mobile, db_size=db_size,
+                         action_time=0.001, seed=0)
+
+
+def test_cycles_complete_and_tentative_work_happens():
+    system = make_system()
+    driver = MobileCycleDriver(
+        system,
+        uniform_update_profile(actions=2, db_size=40, commutative=True),
+        tps=2.0,
+        disconnect_time=5.0,
+        acceptance=AlwaysAccept(),
+    )
+    driver.start(duration=30.0)
+    system.run()
+    assert driver.cycles_completed >= 2 * 5  # ~6 cycles x 2 mobiles
+    assert system.metrics.tentative_committed > 0
+    assert system.metrics.tentative_accepted > 0
+    assert system.base_divergence() == 0
+
+
+def test_commutative_day_cycles_never_reject():
+    system = make_system()
+    driver = MobileCycleDriver(
+        system,
+        uniform_update_profile(actions=2, db_size=40, commutative=True),
+        tps=3.0,
+        disconnect_time=4.0,
+        acceptance=AlwaysAccept(),
+    )
+    driver.start(duration=40.0)
+    system.run()
+    assert system.metrics.tentative_rejected == 0
+    assert system.metrics.tentative_accepted == system.metrics.tentative_committed
+
+
+def test_strict_acceptance_rejects_under_contention():
+    system = make_system(num_mobile=3, db_size=10)
+    driver = MobileCycleDriver(
+        system,
+        uniform_update_profile(actions=2, db_size=10, commutative=True),
+        tps=3.0,
+        disconnect_time=5.0,
+        acceptance=IdenticalOutputs(),
+    )
+    driver.start(duration=40.0)
+    system.run()
+    # with 3 mobiles hammering 10 objects, interleaved base commits change
+    # increment outputs: strict acceptance must reject some
+    assert system.metrics.tentative_rejected > 0
+    # but the master tier never diverges regardless
+    assert system.base_divergence() == 0
+
+
+def test_all_replicas_converge_after_final_reconnect():
+    system = make_system()
+    driver = MobileCycleDriver(
+        system,
+        uniform_update_profile(actions=1, db_size=40, commutative=True),
+        tps=1.0,
+        disconnect_time=3.0,
+        acceptance=AlwaysAccept(),
+    )
+    driver.start(duration=20.0)
+    system.run()
+    # the cycle ends with a reconnect + exchange, so everything drains
+    assert system.divergence() == 0
+
+
+def test_validation():
+    system = make_system()
+    profile = uniform_update_profile(actions=1, db_size=40)
+    with pytest.raises(ConfigurationError):
+        MobileCycleDriver(system, profile, tps=0, disconnect_time=1.0)
+    with pytest.raises(ConfigurationError):
+        MobileCycleDriver(system, profile, tps=1.0, disconnect_time=0)
+    driver = MobileCycleDriver(system, profile, tps=1.0, disconnect_time=1.0)
+    with pytest.raises(ConfigurationError):
+        driver.start(duration=0)

@@ -1,0 +1,135 @@
+"""Tests for MobileNode details not covered by the protocol tests."""
+
+import pytest
+
+from repro.core import AlwaysAccept, TwoTierSystem
+from repro.core.tentative import TentativeStatus
+from repro.exceptions import InvalidStateError
+from repro.txn.ops import IncrementOp, ReadOp, WriteOp
+
+
+def make(**kw):
+    kw.setdefault("num_base", 1)
+    kw.setdefault("num_mobile", 2)
+    kw.setdefault("db_size", 10)
+    kw.setdefault("action_time", 0.001)
+    kw.setdefault("initial_value", 100)
+    return TwoTierSystem(**kw)
+
+
+def test_connected_property_tracks_network():
+    system = make()
+    mobile = system.mobile(1)
+    assert mobile.connected
+    system.disconnect_mobile(1)
+    assert not mobile.connected
+    system.network.reconnect(1)
+    assert mobile.connected
+
+
+def test_require_disconnected():
+    system = make()
+    mobile = system.mobile(1)
+    with pytest.raises(InvalidStateError):
+        mobile.require_disconnected()
+    system.disconnect_mobile(1)
+    mobile.require_disconnected()  # fine now
+
+
+def test_tentative_sequence_numbers_increase():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    p1 = mobile.submit_tentative([IncrementOp(0, -1)], AlwaysAccept())
+    p2 = mobile.submit_tentative([IncrementOp(0, -1)], AlwaysAccept())
+    system.run()
+    assert p2.value.seq > p1.value.seq
+
+
+def test_tentative_read_sees_own_earlier_writes():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([WriteOp(3, 42)], AlwaysAccept())
+    p = mobile.submit_tentative([ReadOp(3)], AlwaysAccept())
+    system.run()
+    # the read op returned the tentative value; reads are not outputs
+    assert p.value.tentative_outputs == []
+    assert mobile.read(3) == 42
+
+
+def test_tentative_commit_time_recorded():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    p = mobile.submit_tentative([IncrementOp(0, -1)], AlwaysAccept())
+    system.run()
+    assert p.value.commit_time > 0
+
+
+def test_log_partitions_by_status():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([IncrementOp(0, -150)], AlwaysAccept())
+    system.run()
+    assert len(mobile.pending_transactions) == 1
+    assert mobile.accepted_transactions == []
+    system.reconnect_mobile(1)
+    system.run()
+    assert mobile.pending_transactions == []
+    assert len(mobile.accepted_transactions) == 1
+
+
+def test_reconnect_with_no_pending_work_is_clean():
+    system = make()
+    system.disconnect_mobile(1)
+    p = system.reconnect_mobile(1)
+    system.run()
+    assert p.value == []
+    assert system.base_divergence() == 0
+
+
+def test_second_reconnect_does_not_replay_again():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([IncrementOp(0, -10)], AlwaysAccept())
+    system.run()
+    system.reconnect_mobile(1)
+    system.run()
+    assert system.nodes[0].store.value(0) == 90
+    # disconnect and reconnect again without new work
+    system.disconnect_mobile(1)
+    p = system.reconnect_mobile(1)
+    system.run()
+    assert p.value == []  # nothing pending was replayed
+    assert system.nodes[0].store.value(0) == 90  # not double-applied
+    assert system.metrics.tentative_accepted == 1
+
+
+def test_two_mobiles_have_independent_tentative_views():
+    system = make()
+    m1, m2 = system.mobile(1), system.mobile(2)
+    system.disconnect_mobile(1)
+    system.disconnect_mobile(2)
+    m1.submit_tentative([IncrementOp(0, -30)], AlwaysAccept())
+    system.run()
+    assert m1.read(0) == 70
+    assert m2.read(0) == 100  # unaffected
+
+
+def test_notices_accumulate_in_order():
+    system = make()
+    mobile = system.mobile(1)
+    system.disconnect_mobile(1)
+    mobile.submit_tentative([IncrementOp(0, -10)], AlwaysAccept(), label="a")
+    mobile.submit_tentative([IncrementOp(0, -10)], AlwaysAccept(), label="b")
+    system.run()
+    system.reconnect_mobile(1)
+    system.run()
+    assert len(mobile.notices) == 2
+    seqs = [seq for seq, _, _ in mobile.notices]
+    assert seqs == sorted(seqs)
+    assert all(status is TentativeStatus.ACCEPTED
+               for _, status, _ in mobile.notices)

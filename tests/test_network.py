@@ -1,0 +1,198 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.network import Network
+from repro.sim import Engine
+
+
+def make_net(num_nodes=3, message_delay=0.0):
+    engine = Engine()
+    net = Network(engine, num_nodes, message_delay=message_delay)
+    inboxes = {i: [] for i in range(num_nodes)}
+    for i in range(num_nodes):
+        net.register(i, lambda msg, i=i: inboxes[i].append(msg))
+    return engine, net, inboxes
+
+
+def test_immediate_delivery_with_zero_delay():
+    engine, net, inboxes = make_net()
+    net.send(0, 1, "ping", "hello")
+    engine.run()
+    assert len(inboxes[1]) == 1
+    assert inboxes[1][0].payload == "hello"
+    assert inboxes[1][0].deliver_time == 0.0
+
+
+def test_delivery_after_message_delay():
+    engine, net, inboxes = make_net(message_delay=2.5)
+    net.send(0, 1, "ping", None)
+    engine.run()
+    assert inboxes[1][0].deliver_time == 2.5
+    assert inboxes[1][0].latency == 2.5
+
+
+def test_extra_delay_adds_to_base():
+    engine, net, inboxes = make_net(message_delay=1.0)
+    net.send(0, 1, "ping", None, extra_delay=2.0)
+    engine.run()
+    assert inboxes[1][0].deliver_time == 3.0
+
+
+def test_messages_between_same_pair_preserve_order():
+    engine, net, inboxes = make_net(message_delay=1.0)
+    for i in range(5):
+        net.send(0, 1, "seq", i)
+    engine.run()
+    assert [m.payload for m in inboxes[1]] == [0, 1, 2, 3, 4]
+
+
+def test_send_to_disconnected_parks_until_reconnect():
+    engine, net, inboxes = make_net()
+    net.disconnect(1)
+    net.send(0, 1, "ping", "deferred")
+    engine.run()
+    assert inboxes[1] == []
+    assert net.parked_inbound(1) == 1
+    net.reconnect(1)
+    engine.run()
+    assert [m.payload for m in inboxes[1]] == ["deferred"]
+    assert net.parked_inbound(1) == 0
+
+
+def test_send_from_disconnected_parks_outbound():
+    engine, net, inboxes = make_net()
+    net.disconnect(0)
+    net.send(0, 1, "ping", "from-dark")
+    engine.run()
+    assert inboxes[1] == []
+    assert net.parked_outbound(0) == 1
+    net.reconnect(0)
+    engine.run()
+    assert [m.payload for m in inboxes[1]] == ["from-dark"]
+
+
+def test_parked_messages_flush_in_fifo_order():
+    engine, net, inboxes = make_net()
+    net.disconnect(1)
+    for i in range(4):
+        net.send(0, 1, "seq", i)
+    net.reconnect(1)
+    engine.run()
+    assert [m.payload for m in inboxes[1]] == [0, 1, 2, 3]
+
+
+def test_double_disconnect_and_reconnect_are_idempotent():
+    engine, net, inboxes = make_net()
+    net.disconnect(1)
+    net.disconnect(1)
+    net.reconnect(1)
+    net.reconnect(1)
+    net.send(0, 1, "ping", "ok")
+    engine.run()
+    assert len(inboxes[1]) == 1
+
+
+def test_partition_parks_messages():
+    engine, net, inboxes = make_net()
+    net.set_reachable(0, 1, False)
+    net.send(0, 1, "ping", "blocked")
+    engine.run()
+    assert inboxes[1] == []
+    # healing the partition alone doesn't deliver (messages wait on the
+    # receiver's queue until its next reconnect event)
+    net.set_reachable(0, 1, True)
+    net.disconnect(1)
+    net.reconnect(1)
+    engine.run()
+    assert [m.payload for m in inboxes[1]] == ["blocked"]
+
+
+def test_reachability_is_symmetric():
+    engine, net, _ = make_net()
+    net.set_reachable(2, 0, False)
+    assert not net.reachable(0, 2)
+    assert not net.reachable(2, 0)
+
+
+def test_generator_handler_runs_as_process():
+    engine = Engine()
+    net = Network(engine, 2)
+    log = []
+
+    def handler(msg):
+        def work():
+            yield engine.timeout(1.0)
+            log.append((engine.now, msg.payload))
+
+        return work()
+
+    net.register(1, handler)
+    net.send(0, 1, "job", "x")
+    engine.run()
+    assert log == [(1.0, "x")]
+
+
+def test_unregistered_destination_raises():
+    engine = Engine()
+    net = Network(engine, 2)
+    net.send(0, 1, "ping", None)
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_invalid_node_ids_rejected():
+    engine = Engine()
+    net = Network(engine, 2)
+    with pytest.raises(ConfigurationError):
+        net.send(0, 5, "ping", None)
+    with pytest.raises(ConfigurationError):
+        net.disconnect(9)
+    with pytest.raises(ConfigurationError):
+        Network(engine, 0)
+    with pytest.raises(ConfigurationError):
+        Network(engine, 2, message_delay=-1)
+
+
+def test_counters():
+    engine, net, inboxes = make_net()
+    net.disconnect(2)
+    net.send(0, 1, "a", None)
+    net.send(0, 2, "b", None)  # parked
+    engine.run()
+    assert net.messages_sent == 2
+    assert net.messages_delivered == 1
+    assert net.messages_parked == 1
+
+
+def test_latency_statistics():
+    engine, net, inboxes = make_net(message_delay=2.0)
+    net.send(0, 1, "a", None)
+    engine.run()
+    assert net.mean_latency() == pytest.approx(2.0)
+    # a parked message's queueing time counts toward latency
+    net.disconnect(2)
+    net.send(0, 2, "b", None)
+    engine.run(until=engine.now + 10.0)
+    net.reconnect(2)
+    engine.run()
+    assert net.max_latency >= 10.0
+    assert net.mean_latency() > 2.0
+
+
+def test_mean_latency_zero_before_any_delivery():
+    engine, net, _ = make_net()
+    assert net.mean_latency() == 0.0
+
+
+def test_parked_past_due_message_delivers_promptly_on_reconnect():
+    engine, net, inboxes = make_net(message_delay=1.0)
+    net.disconnect(1)
+    net.send(0, 1, "late", None)
+    engine.run(until=50.0)
+    net.reconnect(1)
+    engine.run()
+    msg = inboxes[1][0]
+    assert msg.deliver_time == pytest.approx(50.0)
+    assert msg.latency == pytest.approx(50.0)

@@ -1,0 +1,123 @@
+"""Tests for the operation vocabulary, including commutativity properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.txn.ops import (
+    AppendOp,
+    IncrementOp,
+    MultiplyOp,
+    Operation,
+    ReadOp,
+    WriteOp,
+    all_commute,
+)
+
+
+class TestSemantics:
+    def test_read_is_identity(self):
+        op = ReadOp(1)
+        assert op.apply(42) == 42
+        assert op.is_read
+        assert op.commutative
+
+    def test_write_overwrites(self):
+        op = WriteOp(1, 99)
+        assert op.apply(0) == 99
+        assert op.apply(12345) == 99
+        assert not op.commutative
+
+    def test_increment_adds(self):
+        op = IncrementOp(1, 5)
+        assert op.apply(10) == 15
+        assert op.apply(-5) == 0
+        assert op.commutative
+
+    def test_negative_increment(self):
+        assert IncrementOp(1, -50).apply(1000) == 950
+
+    def test_multiply_scales_and_does_not_commute(self):
+        op = MultiplyOp(1, 1.1)
+        assert op.apply(100) == 110.00000000000001 or abs(op.apply(100) - 110) < 1e-9
+        assert not op.commutative
+
+    def test_append_accumulates_sorted(self):
+        op1 = AppendOp(1, "b")
+        op2 = AppendOp(1, "a")
+        value = op2.apply(op1.apply(()))
+        assert value == ("a", "b")
+
+    def test_append_treats_initial_zero_as_empty(self):
+        assert AppendOp(1, "x").apply(0) == ("x",)
+
+
+class TestEqualityAndHashing:
+    def test_equal_ops_equal(self):
+        assert WriteOp(1, 5) == WriteOp(1, 5)
+        assert IncrementOp(2, 3) == IncrementOp(2, 3)
+        assert hash(WriteOp(1, 5)) == hash(WriteOp(1, 5))
+
+    def test_different_params_differ(self):
+        assert WriteOp(1, 5) != WriteOp(1, 6)
+        assert WriteOp(1, 5) != WriteOp(2, 5)
+        assert IncrementOp(1, 5) != WriteOp(1, 5)
+
+    def test_repr_is_informative(self):
+        assert "IncrementOp" in repr(IncrementOp(3, 7))
+
+
+class TestAllCommute:
+    def test_empty_commutes(self):
+        assert all_commute([])
+
+    def test_increments_commute(self):
+        assert all_commute([IncrementOp(1, 5), IncrementOp(2, -3), ReadOp(0)])
+
+    def test_any_write_breaks_commutativity(self):
+        assert not all_commute([IncrementOp(1, 5), WriteOp(2, 9)])
+
+
+class TestCommutativityProperties:
+    """The load-bearing property: ops marked commutative really commute."""
+
+    @given(st.integers(-1000, 1000), st.integers(-100, 100),
+           st.integers(-100, 100))
+    def test_increments_commute_pairwise(self, start, d1, d2):
+        a, b = IncrementOp(0, d1), IncrementOp(0, d2)
+        assert a.apply(b.apply(start)) == b.apply(a.apply(start))
+
+    @given(st.integers(-1000, 1000),
+           st.lists(st.integers(-50, 50), min_size=1, max_size=8))
+    def test_increment_sequences_commute_in_any_order(self, start, deltas):
+        ops = [IncrementOp(0, d) for d in deltas]
+        forward = start
+        for op in ops:
+            forward = op.apply(forward)
+        backward = start
+        for op in reversed(ops):
+            backward = op.apply(backward)
+        assert forward == backward
+
+    @given(st.lists(st.integers(0, 100), min_size=0, max_size=6),
+           st.integers(0, 100), st.integers(0, 100))
+    def test_appends_commute_pairwise(self, base, x, y):
+        start = tuple(sorted(base))
+        a, b = AppendOp(0, x), AppendOp(0, y)
+        assert a.apply(b.apply(start)) == b.apply(a.apply(start))
+
+    @given(st.integers(-1000, 1000), st.integers(-100, 100),
+           st.integers(-100, 100))
+    def test_writes_do_not_commute_unless_equal(self, start, v1, v2):
+        a, b = WriteOp(0, v1), WriteOp(0, v2)
+        orders_agree = a.apply(b.apply(start)) == b.apply(a.apply(start))
+        assert orders_agree == (v1 == v2)
+
+    @given(st.integers(1, 100), st.integers(1, 10), st.integers(-50, 50))
+    def test_multiply_vs_increment_order_matters(self, start, factor, delta):
+        mul, inc = MultiplyOp(0, factor), IncrementOp(0, delta)
+        lhs = mul.apply(inc.apply(start))
+        rhs = inc.apply(mul.apply(start))
+        # they differ whenever factor != 1 and delta != 0 — justifying the
+        # conservative non-commutative marking of MultiplyOp
+        if factor != 1 and delta != 0:
+            assert lhs != rhs

@@ -1,0 +1,107 @@
+"""Tests for the footnote-2 parallel-update eager variant."""
+
+import pytest
+
+from repro.replication.eager_group import EagerGroupSystem
+from repro.txn.ops import IncrementOp, WriteOp
+
+
+def make(parallel=True, **kw):
+    kw.setdefault("num_nodes", 3)
+    kw.setdefault("db_size", 20)
+    kw.setdefault("action_time", 0.01)
+    return EagerGroupSystem(parallel_updates=parallel, **kw)
+
+
+def test_duration_independent_of_node_count():
+    """Footnote 2: 'the elapsed time for each action is constant
+    (independent of N)'."""
+    durations = {}
+    for nodes in [2, 4, 8]:
+        system = make(num_nodes=nodes)
+        p = system.submit(0, [WriteOp(0, 1), WriteOp(1, 2)])
+        system.run()
+        durations[nodes] = p.value.duration
+    assert durations[2] == durations[4] == durations[8] == pytest.approx(0.02)
+
+
+def test_sequential_duration_grows_with_nodes():
+    slow = EagerGroupSystem(num_nodes=8, db_size=20, action_time=0.01,
+                            parallel_updates=False)
+    p = slow.submit(0, [WriteOp(0, 1), WriteOp(1, 2)])
+    slow.run()
+    assert p.value.duration == pytest.approx(0.16)
+
+
+def test_all_replicas_still_updated():
+    system = make()
+    system.submit(0, [WriteOp(5, 42)])
+    system.run()
+    for node in system.nodes:
+        assert node.store.value(5) == 42
+    assert system.metrics.actions == 3
+    assert system.converged()
+
+
+def test_deadlock_aborts_cleanly_with_parallel_siblings():
+    """A deadlock at one replica must abort the whole transaction and wake
+    the sibling updates parked at other replicas, leaking nothing."""
+    system = make(num_nodes=2, db_size=4)
+    system.submit(0, [WriteOp(0, 100), WriteOp(1, 100)])
+    system.submit(1, [WriteOp(1, 200), WriteOp(0, 200)])
+    system.run()
+    assert system.metrics.commits + system.metrics.aborts == 2
+    assert system.converged()
+    for node in system.nodes:
+        node.tm.assert_quiescent()
+
+
+def test_increments_conserved_under_parallel_contention():
+    system = make(num_nodes=3, db_size=6, retry_deadlocks=True)
+    for origin in range(3):
+        for _ in range(6):
+            system.submit(origin, [IncrementOp(2, 1)])
+    system.run()
+    assert system.nodes[0].store.value(2) == 18
+    assert system.converged()
+    for node in system.nodes:
+        node.tm.assert_quiescent()
+
+
+def test_parallel_deadlocks_fewer_than_sequential_at_scale():
+    """The footnote's point: parallel application tames the explosion."""
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.profiles import uniform_update_profile
+
+    deadlocks = {}
+    for parallel in (False, True):
+        system = EagerGroupSystem(num_nodes=6, db_size=80, action_time=0.01,
+                                  seed=1, parallel_updates=parallel)
+        workload = WorkloadGenerator(
+            system, uniform_update_profile(actions=3, db_size=80), tps=4.0
+        )
+        workload.start(150.0)
+        system.run()
+        assert system.converged()
+        deadlocks[parallel] = system.metrics.deadlocks
+    assert deadlocks[True] < deadlocks[False] / 3
+
+
+def test_analytic_parallel_rate_matches_lazy_master():
+    from repro.analytic import ModelParameters, eager, lazy_master
+
+    p = ModelParameters(db_size=1000, nodes=8, tps=5, actions=4,
+                        action_time=0.01)
+    assert eager.parallel_update_deadlock_rate(p) == pytest.approx(
+        lazy_master.deadlock_rate(p)
+    )
+
+
+def test_analytic_parallel_rate_quadratic():
+    from repro.analytic import ModelParameters, eager
+    from repro.analytic.scaling import fit_exponent, sweep
+
+    p = ModelParameters(db_size=1000, nodes=1, tps=5, actions=4,
+                        action_time=0.01)
+    r = sweep(eager.parallel_update_deadlock_rate, p, "nodes", [1, 2, 4, 8])
+    assert fit_exponent(r.xs, r.ys) == pytest.approx(2.0)

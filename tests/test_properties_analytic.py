@@ -1,0 +1,195 @@
+"""Property-based verification of every equation's scaling laws.
+
+Each closed form claims exact polynomial dependencies on each Table-2
+parameter.  These tests draw random parameter points and random scale
+factors and check the ratios exactly — a typo in any exponent or constant
+anywhere in the analytic package fails loudly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import (
+    ModelParameters,
+    eager,
+    lazy_group,
+    lazy_master,
+    single_node,
+)
+from repro.analytic.dilation import node_utilization
+
+params_strategy = st.builds(
+    ModelParameters,
+    db_size=st.integers(100, 1_000_000),
+    nodes=st.integers(1, 64),
+    tps=st.floats(0.1, 1000.0),
+    actions=st.integers(1, 30),
+    action_time=st.floats(1e-4, 1.0),
+    disconnect_time=st.floats(0.1, 1e5),
+)
+
+factor_strategy = st.sampled_from([2, 3, 5, 10])
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+
+def ratio(fn, p, field, k):
+    base = fn(p)
+    current = getattr(p, field)
+    scaled_value = current * k
+    if isinstance(current, int):
+        scaled_value = int(scaled_value)
+    scaled = fn(p.with_(**{field: scaled_value}))
+    return scaled / base
+
+
+class TestEquation5Laws:
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_quadratic_in_tps(self, p, k):
+        assert ratio(single_node.node_deadlock_rate, p, "tps", k) == (
+            pytest.approx(k**2)
+        )
+
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_quintic_in_actions(self, p, k):
+        assert ratio(single_node.node_deadlock_rate, p, "actions", k) == (
+            pytest.approx(k**5)
+        )
+
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_inverse_square_in_db(self, p, k):
+        assert ratio(single_node.node_deadlock_rate, p, "db_size", k) == (
+            pytest.approx(k**-2)
+        )
+
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_linear_in_action_time(self, p, k):
+        assert ratio(single_node.node_deadlock_rate, p, "action_time", k) == (
+            pytest.approx(k)
+        )
+
+
+class TestEquation12Laws:
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_cubic_in_nodes(self, p, k):
+        assert ratio(eager.total_deadlock_rate, p, "nodes", k) == (
+            pytest.approx(k**3)
+        )
+
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_quintic_in_actions(self, p, k):
+        assert ratio(eager.total_deadlock_rate, p, "actions", k) == (
+            pytest.approx(k**5)
+        )
+
+    @SETTINGS
+    @given(params_strategy)
+    def test_consistency_with_components(self, p):
+        """Eq 12 == Total_Transactions x PD_eager / Transaction_Duration."""
+        expected = (
+            eager.total_transactions(p)
+            * eager.deadlock_probability(p)
+            / eager.transaction_duration(p)
+        )
+        assert eager.total_deadlock_rate(p) == pytest.approx(expected)
+
+    @SETTINGS
+    @given(params_strategy)
+    def test_scaled_db_is_substitution(self, p):
+        assert eager.total_deadlock_rate_scaled_db(p) == pytest.approx(
+            eager.total_deadlock_rate(p.scaled_db())
+        )
+
+
+class TestEquation14And18Laws:
+    @SETTINGS
+    @given(params_strategy)
+    def test_eq14_equals_eq10(self, p):
+        assert lazy_group.reconciliation_rate(p) == pytest.approx(
+            eager.total_wait_rate(p)
+        )
+
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_eq18_quadratic_in_tps(self, p, k):
+        assert ratio(lazy_group.mobile_reconciliation_rate, p, "tps", k) == (
+            pytest.approx(k**2)
+        )
+
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_eq18_linear_in_disconnect_time(self, p, k):
+        assert ratio(
+            lazy_group.mobile_reconciliation_rate, p, "disconnect_time", k
+        ) == pytest.approx(k)
+
+    @SETTINGS
+    @given(params_strategy)
+    def test_eq17_is_inbound_times_outbound_over_db(self, p):
+        expected = (
+            lazy_group.inbound_updates(p)
+            * lazy_group.outbound_updates(p)
+            / p.db_size
+        )
+        assert lazy_group.collision_probability(p, exact_nodes=True) == (
+            pytest.approx(expected)
+        )
+
+
+class TestEquation19Laws:
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_quadratic_in_nodes(self, p, k):
+        assert ratio(lazy_master.deadlock_rate, p, "nodes", k) == (
+            pytest.approx(k**2)
+        )
+
+    @SETTINGS
+    @given(params_strategy)
+    def test_single_node_is_equation_5(self, p):
+        q = p.with_(nodes=1)
+        assert lazy_master.deadlock_rate(q) == pytest.approx(
+            single_node.node_deadlock_rate(q)
+        )
+
+    @SETTINGS
+    @given(params_strategy)
+    def test_dominated_by_eager_beyond_one_node(self, p):
+        if p.nodes > 1:
+            assert lazy_master.deadlock_rate(p) < eager.total_deadlock_rate(p)
+        else:
+            assert lazy_master.deadlock_rate(p) == pytest.approx(
+                eager.total_deadlock_rate(p)
+            )
+
+
+class TestCrossEquationOrderings:
+    @SETTINGS
+    @given(params_strategy)
+    def test_waits_dominate_deadlocks_in_validity_region(self, p):
+        """'Waits are much more frequent than deadlocks because it takes two
+        waits to make a deadlock.'
+
+        Algebraically eq12 / eq10 = Actions^2 / (2 DB_Size), so the claim
+        holds exactly when a transaction's footprint is small relative to
+        the database — the model's dilute regime.  (A transaction updating
+        15 of 100 objects is outside any regime the paper contemplates.)
+        """
+        if p.actions**2 <= 2 * p.db_size:
+            assert eager.total_wait_rate(p) >= eager.total_deadlock_rate(p)
+        else:
+            assert eager.total_wait_rate(p) < eager.total_deadlock_rate(p)
+
+    @SETTINGS
+    @given(params_strategy, factor_strategy)
+    def test_dilation_monotone_in_load(self, p, k):
+        assert node_utilization(p.with_(tps=p.tps * k)) == pytest.approx(
+            node_utilization(p) * k
+        )

@@ -1,0 +1,115 @@
+"""Property-based tests for the convergent (section 6) substrate.
+
+The convergence property is exactly the kind of claim hypothesis is built
+for: *any* sequence of updates at *any* replicas, synchronized in *any*
+order, must end in identical states — with appends and increments losing
+nothing, ever.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication.convergent import (
+    ConvergentReplica,
+    diverged_objects,
+    exchange,
+    fully_sync,
+)
+
+# one update instruction: (replica, kind, oid, value)
+update_strategy = st.tuples(
+    st.integers(0, 3),
+    st.sampled_from(["replace", "append", "increment"]),
+    st.integers(0, 2),
+    st.integers(-50, 50),
+)
+
+
+def apply_updates(replicas, updates):
+    for replica_index, kind, oid, value in updates:
+        replica = replicas[replica_index % len(replicas)]
+        if kind == "replace":
+            replica.replace(oid, value)
+        elif kind == "append":
+            replica.append(oid, value)
+        else:
+            replica.increment(oid, value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(update_strategy, max_size=25), st.integers(2, 4))
+def test_any_update_mix_converges(updates, n_replicas):
+    replicas = [ConvergentReplica(i, 3) for i in range(n_replicas)]
+    apply_updates(replicas, updates)
+    fully_sync(replicas)
+    assert diverged_objects(replicas) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(update_strategy, max_size=20), st.randoms(use_true_random=False))
+def test_sync_order_does_not_matter(updates, rng):
+    def run(pair_order):
+        replicas = [ConvergentReplica(i, 3) for i in range(3)]
+        apply_updates(replicas, updates)
+        for a, b in pair_order:
+            exchange(replicas[a], replicas[b])
+        fully_sync(replicas)
+        return [r.snapshot() for r in replicas]
+
+    pairs = list(itertools.combinations(range(3), 2))
+    shuffled = list(pairs)
+    rng.shuffle(shuffled)
+    assert run(pairs) == run(shuffled)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(-20, 20)),
+                min_size=1, max_size=20))
+def test_increments_always_sum_exactly(increments):
+    replicas = [ConvergentReplica(i, 1) for i in range(3)]
+    for replica_index, delta in increments:
+        replicas[replica_index].increment(0, delta)
+    fully_sync(replicas)
+    expected = sum(delta for _, delta in increments)
+    assert all(r.value(0) == expected for r in replicas)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 100)),
+                min_size=1, max_size=15))
+def test_appends_never_lose_notes(appends):
+    replicas = [ConvergentReplica(i, 1) for i in range(3)]
+    for replica_index, body in appends:
+        replicas[replica_index].append(0, body)
+    fully_sync(replicas)
+    for replica in replicas:
+        assert len(replica.notes(0)) == len(appends)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(update_strategy, max_size=20))
+def test_sync_is_idempotent_after_convergence(updates):
+    replicas = [ConvergentReplica(i, 3) for i in range(3)]
+    apply_updates(replicas, updates)
+    fully_sync(replicas)
+    snapshots = [r.snapshot() for r in replicas]
+    fully_sync(replicas)
+    assert [r.snapshot() for r in replicas] == snapshots
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 1000)),
+                min_size=2, max_size=10))
+def test_replace_keeps_exactly_one_committed_value(replaces):
+    """Whatever is lost, the survivor must be one of the written values."""
+    replicas = [ConvergentReplica(i, 1) for i in range(3)]
+    written = []
+    for replica_index, value in replaces:
+        replicas[replica_index].replace(0, value)
+        written.append(value)
+    fully_sync(replicas)
+    final = replicas[0].value(0)
+    assert final in written
+    assert diverged_objects(replicas) == 0

@@ -1,0 +1,96 @@
+"""Property-based tests for the history verifier."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify import History
+
+# a schedule step: (node, txn, oid, kind)
+step_strategy = st.tuples(
+    st.integers(0, 2),
+    st.integers(1, 5),
+    st.integers(0, 2),
+    st.sampled_from(["r", "w"]),
+)
+
+
+def build(steps, committed):
+    h = History()
+    for node, txn, oid, kind in steps:
+        if kind == "r":
+            h.record_read(node, txn, oid)
+        else:
+            h.record_write(node, txn, oid)
+    for txn in committed:
+        h.mark_committed(txn)
+    return h
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(step_strategy, max_size=30))
+def test_serial_schedules_always_serializable(steps):
+    """Running transactions one after another (grouped by txn id) is the
+    definition of serial — the checker must always accept it."""
+    h = History()
+    ordered = sorted(steps, key=lambda s: s[1])  # group by transaction
+    for node, txn, oid, kind in ordered:
+        if kind == "r":
+            h.record_read(node, txn, oid)
+        else:
+            h.record_write(node, txn, oid)
+        h.mark_committed(txn)
+    graph = h.conflict_graph()
+    assert graph.is_serializable()
+    order = graph.serial_order()
+    assert order == sorted(order)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(step_strategy, max_size=30),
+       st.sets(st.integers(1, 5)))
+def test_verdict_is_deterministic(steps, committed):
+    a = build(steps, committed).conflict_graph()
+    b = build(steps, committed).conflict_graph()
+    assert a.is_serializable() == b.is_serializable()
+    assert a.edge_count() == b.edge_count()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(step_strategy, max_size=30), st.sets(st.integers(1, 5)))
+def test_cycle_witness_is_real(steps, committed):
+    """Whenever the checker says non-serializable, the returned cycle must
+    actually exist edge by edge."""
+    graph = build(steps, committed).conflict_graph()
+    cycle = graph.find_cycle()
+    if cycle is None:
+        # serial_order must succeed and respect every edge
+        order = graph.serial_order()
+        position = {txn: i for i, txn in enumerate(order)}
+        for src, dsts in graph.edges.items():
+            for dst in dsts:
+                assert position[src] < position[dst]
+    else:
+        assert len(cycle) >= 1
+        for src, dst in zip(cycle, cycle[1:] + cycle[:1]):
+            assert dst in graph.edges.get(src, set()), (cycle, graph.edges)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(step_strategy, max_size=30), st.sets(st.integers(1, 5)))
+def test_committing_fewer_transactions_never_creates_anomalies(steps, committed):
+    """Aborting transactions can only remove conflicts."""
+    full = build(steps, committed).conflict_graph()
+    if full.is_serializable():
+        for drop in list(committed):
+            reduced = build(steps, committed - {drop}).conflict_graph()
+            assert reduced.is_serializable()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(step_strategy, max_size=20))
+def test_read_only_histories_always_serializable(steps):
+    h = History()
+    for node, txn, oid, _ in steps:
+        h.record_read(node, txn, oid)
+        h.mark_committed(txn)
+    assert h.conflict_graph().is_serializable()

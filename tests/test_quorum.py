@@ -1,0 +1,159 @@
+"""Tests for Gifford weighted voting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.replication.quorum import QuorumConfig, best_majority_votes
+
+
+class TestValidation:
+    def test_majority_config(self):
+        q = QuorumConfig.majority(5)
+        assert q.total_votes == 5
+        assert q.read_quorum == 3
+        assert q.write_quorum == 3
+
+    def test_rowa(self):
+        q = QuorumConfig.read_one_write_all(4)
+        assert q.read_quorum == 1
+        assert q.write_quorum == 4
+
+    def test_r_plus_w_must_exceed_v(self):
+        with pytest.raises(ConfigurationError):
+            QuorumConfig(votes=(1, 1, 1), read_quorum=1, write_quorum=2)
+
+    def test_two_w_must_exceed_v(self):
+        with pytest.raises(ConfigurationError):
+            QuorumConfig(votes=(1, 1, 1, 1), read_quorum=3, write_quorum=2)
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuorumConfig(votes=(), read_quorum=1, write_quorum=1)
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuorumConfig(votes=(1, -1, 3), read_quorum=2, write_quorum=2)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuorumConfig(votes=(0, 0), read_quorum=1, write_quorum=1)
+
+    @given(st.integers(1, 15))
+    def test_majority_always_valid(self, n):
+        QuorumConfig.majority(n)  # must not raise
+
+
+class TestMembership:
+    def test_count_based(self):
+        q = QuorumConfig.majority(5)
+        assert q.is_write_quorum(3)
+        assert not q.is_write_quorum(2)
+
+    def test_set_based_uniform(self):
+        q = QuorumConfig.majority(5)
+        assert q.is_write_quorum({0, 1, 2})
+        assert not q.is_write_quorum({0, 4})
+
+    def test_weighted_votes(self):
+        # node 0 carries 3 votes of 5 total: it alone is a write quorum
+        q = QuorumConfig(votes=(3, 1, 1), read_quorum=3, write_quorum=3)
+        assert q.is_write_quorum({0})
+        assert not q.is_write_quorum({1, 2})
+
+    def test_two_write_quorums_always_intersect(self):
+        from itertools import combinations
+
+        q = QuorumConfig(votes=(2, 1, 1, 1), read_quorum=3, write_quorum=3)
+        nodes = range(4)
+        quorums = [
+            set(c)
+            for size in range(1, 5)
+            for c in combinations(nodes, size)
+            if q.is_write_quorum(set(c))
+        ]
+        for a in quorums:
+            for b in quorums:
+                assert a & b, f"write quorums {a} and {b} do not intersect"
+
+    def test_read_and_write_quorums_intersect(self):
+        from itertools import combinations
+
+        q = QuorumConfig.majority(5)
+        nodes = range(5)
+        reads = [set(c) for r in range(1, 6) for c in combinations(nodes, r)
+                 if q.is_read_quorum(set(c))]
+        writes = [set(c) for r in range(1, 6) for c in combinations(nodes, r)
+                  if q.is_write_quorum(set(c))]
+        for r in reads:
+            for w in writes:
+                assert r & w
+
+
+class TestAvailability:
+    def test_perfect_nodes_always_available(self):
+        q = QuorumConfig.majority(5)
+        assert q.write_availability(1.0) == pytest.approx(1.0)
+        assert q.read_availability(1.0) == pytest.approx(1.0)
+
+    def test_dead_nodes_never_available(self):
+        q = QuorumConfig.majority(5)
+        assert q.write_availability(0.0) == pytest.approx(0.0)
+
+    def test_three_node_majority_closed_form(self):
+        # P(>=2 of 3 up) = 3p^2(1-p) + p^3
+        q = QuorumConfig.majority(3)
+        p = 0.9
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert q.write_availability(p) == pytest.approx(expected)
+
+    def test_rowa_write_availability_is_p_to_n(self):
+        q = QuorumConfig.read_one_write_all(4)
+        assert q.write_availability(0.9) == pytest.approx(0.9**4)
+
+    def test_rowa_read_availability_is_any_up(self):
+        q = QuorumConfig.read_one_write_all(4)
+        assert q.read_availability(0.9) == pytest.approx(1 - 0.1**4)
+
+    def test_weighted_subset_enumeration(self):
+        q = QuorumConfig(votes=(2, 1, 1), read_quorum=3, write_quorum=3)
+        p = 0.8
+        # write quorum needs >=3 votes: {0,1},{0,2},{0,1,2},{1,2}+0? (1,1)=2 no
+        expected = (
+            p * p * (1 - p) * 2  # {0,1}, {0,2}
+            + p**3  # all three
+        )
+        assert q.write_availability(p) == pytest.approx(expected)
+
+    def test_invalid_probability_rejected(self):
+        q = QuorumConfig.majority(3)
+        with pytest.raises(ConfigurationError):
+            q.write_availability(1.5)
+
+    @given(st.integers(1, 9), st.floats(0.0, 1.0))
+    def test_availability_is_probability(self, n, p):
+        q = QuorumConfig.majority(n)
+        value = q.write_availability(p)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(st.integers(2, 7))
+    def test_monotone_in_up_probability(self, n):
+        q = QuorumConfig.majority(n)
+        values = [q.write_availability(p / 10) for p in range(11)]
+        assert values == sorted(values)
+
+
+class TestVoteAssignment:
+    def test_proportional_votes(self):
+        votes = best_majority_votes([0.9, 0.3, 0.3])
+        assert votes[0] > votes[1] == votes[2] >= 1
+
+    def test_all_zero_weights_get_one_vote(self):
+        assert best_majority_votes([0.0, 0.0]) == {0: 1, 1: 1}
+
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigurationError):
+            best_majority_votes([])
+        with pytest.raises(ConfigurationError):
+            best_majority_votes([-1.0])

@@ -1,0 +1,98 @@
+"""Tests for Record and ObjectStore."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.storage.record import Record
+from repro.storage.store import ObjectStore, divergence
+from repro.storage.versioning import Timestamp
+
+
+class TestRecord:
+    def test_defaults(self):
+        record = Record(oid=3)
+        assert record.value == 0
+        assert record.ts == Timestamp.ZERO
+        assert record.vector is None
+
+    def test_copy_is_independent(self):
+        record = Record(oid=1, value=10, ts=Timestamp(1, 0))
+        snapshot = record.copy()
+        record.value = 20
+        assert snapshot.value == 10
+        assert snapshot.ts == Timestamp(1, 0)
+
+
+class TestObjectStore:
+    def test_initialization(self):
+        store = ObjectStore(node_id=0, db_size=5, initial_value=7)
+        assert len(store) == 5
+        assert all(store.value(oid) == 7 for oid in store.oids())
+        assert all(store.timestamp(oid) == Timestamp.ZERO for oid in store.oids())
+
+    def test_db_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ObjectStore(node_id=0, db_size=0)
+
+    def test_write_and_read(self):
+        store = ObjectStore(node_id=0, db_size=3)
+        ts = Timestamp(1, 0)
+        store.write(1, 42, ts)
+        assert store.value(1) == 42
+        assert store.timestamp(1) == ts
+        assert store.value(0) == 0  # others untouched
+
+    def test_read_unknown_oid_raises(self):
+        store = ObjectStore(node_id=0, db_size=3)
+        with pytest.raises(KeyError):
+            store.read(99)
+
+    def test_apply_transform(self):
+        store = ObjectStore(node_id=0, db_size=3, initial_value=10)
+        store.apply(0, lambda v: v * 2, Timestamp(1, 0))
+        assert store.value(0) == 20
+
+    def test_restore_rolls_back(self):
+        store = ObjectStore(node_id=0, db_size=3)
+        store.write(0, 5, Timestamp(1, 0))
+        store.restore(0, 0, Timestamp.ZERO)
+        assert store.value(0) == 0
+        assert store.timestamp(0) == Timestamp.ZERO
+
+    def test_snapshot(self):
+        store = ObjectStore(node_id=0, db_size=3)
+        store.write(2, 9, Timestamp(1, 0))
+        assert store.snapshot() == {0: 0, 1: 0, 2: 9}
+
+    def test_contains_and_iter(self):
+        store = ObjectStore(node_id=0, db_size=2)
+        assert 0 in store and 1 in store and 2 not in store
+        assert sorted(r.oid for r in store) == [0, 1]
+
+
+class TestDivergence:
+    def _stores(self, n):
+        return [ObjectStore(node_id=i, db_size=4) for i in range(n)]
+
+    def test_identical_stores_converged(self):
+        assert divergence(self._stores(3)) == 0
+
+    def test_single_store_trivially_converged(self):
+        assert divergence(self._stores(1)) == 0
+
+    def test_one_differing_object(self):
+        stores = self._stores(3)
+        stores[1].write(2, 99, Timestamp(1, 1))
+        assert divergence(stores) == 1
+
+    def test_multiple_differing_objects(self):
+        stores = self._stores(2)
+        stores[0].write(0, 1, Timestamp(1, 0))
+        stores[0].write(3, 1, Timestamp(2, 0))
+        assert divergence(stores) == 2
+
+    def test_same_writes_everywhere_converged(self):
+        stores = self._stores(3)
+        for store in stores:
+            store.write(1, 55, Timestamp(1, 0))
+        assert divergence(stores) == 0

@@ -1,0 +1,114 @@
+"""Tests for the exact (non-linearised) model refinements."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytic import ModelParameters, lazy_group, single_node
+from repro.analytic import refinements
+
+
+def dilute():
+    return ModelParameters(db_size=100_000, nodes=1, tps=5, actions=4,
+                           action_time=0.01)
+
+
+def dense():
+    return ModelParameters(db_size=50, nodes=1, tps=100, actions=10,
+                           action_time=0.05)
+
+
+class TestExactWaitProbability:
+    def test_close_to_linearised_when_dilute(self):
+        p = dilute()
+        exact = refinements.exact_wait_probability(p)
+        approx = single_node.wait_probability(p)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_linearisation_overestimates(self):
+        """1-(1-x)^n <= n*x, so the paper's linearised PW is an upper bound."""
+        for p in [dilute(), dense()]:
+            assert (
+                single_node.wait_probability(p)
+                >= refinements.exact_wait_probability(p) - 1e-12
+            )
+
+    def test_exact_stays_in_unit_interval_when_dense(self):
+        p = dense()
+        assert 0.0 <= refinements.exact_wait_probability(p) <= 1.0
+        # while the linearised form explodes past 1
+        assert single_node.wait_probability(p) > 1.0
+
+    @given(
+        st.integers(100, 100_000),
+        st.floats(0.1, 50),
+        st.integers(1, 10),
+        st.floats(0.001, 0.1),
+    )
+    def test_exact_always_a_probability(self, db, tps, actions, at):
+        p = ModelParameters(db_size=db, tps=tps, actions=actions, action_time=at)
+        value = refinements.exact_wait_probability(p)
+        assert 0.0 <= value <= 1.0
+
+
+class TestLinearisationError:
+    def test_small_in_dilute_regime(self):
+        assert refinements.linearisation_error(dilute()) < 0.01
+
+    def test_grows_with_contention(self):
+        assert refinements.linearisation_error(dense()) > (
+            refinements.linearisation_error(dilute())
+        )
+
+    def test_zero_when_no_contention(self):
+        p = dilute().with_(tps=0)
+        assert refinements.linearisation_error(p) == 0.0
+
+
+class TestExactCollisionProbability:
+    def mobile(self, **kw):
+        base = dict(db_size=10_000, nodes=4, tps=1, actions=5,
+                    action_time=0.01, disconnect_time=8.0)
+        base.update(kw)
+        return ModelParameters(**base)
+
+    def test_close_to_paper_when_small(self):
+        p = self.mobile(db_size=1_000_000)
+        paper = lazy_group.collision_probability(p, exact_nodes=True)
+        exact = refinements.exact_collision_probability(p)
+        assert exact == pytest.approx(paper, rel=0.05)
+
+    def test_bounded_by_one_when_sets_large(self):
+        p = self.mobile(db_size=100, disconnect_time=100.0)
+        assert refinements.exact_collision_probability(p) == 1.0
+
+    def test_zero_when_no_updates(self):
+        p = self.mobile(tps=0)
+        assert refinements.exact_collision_probability(p) == 0.0
+        assert refinements.poisson_collision_probability(p) == 0.0
+
+    def test_poisson_close_to_exact(self):
+        p = self.mobile()
+        exact = refinements.exact_collision_probability(p)
+        poisson = refinements.poisson_collision_probability(p)
+        assert poisson == pytest.approx(exact, rel=0.05)
+
+    @given(st.integers(1000, 100_000), st.floats(0.1, 5), st.integers(2, 8))
+    def test_exact_always_a_probability(self, db, tps, nodes):
+        p = ModelParameters(db_size=db, nodes=nodes, tps=tps, actions=3,
+                            action_time=0.01, disconnect_time=5.0)
+        value = refinements.exact_collision_probability(p)
+        assert 0.0 <= value <= 1.0
+
+
+class TestValidityRegion:
+    def test_dilute_is_valid(self):
+        assert refinements.validity_region(dilute())
+
+    def test_dense_is_invalid(self):
+        assert not refinements.validity_region(dense())
+
+    def test_eager_scaleup_leaves_validity_region(self):
+        p = ModelParameters(db_size=2_000, tps=10, actions=5, action_time=0.01)
+        assert refinements.validity_region(p.with_(nodes=1))
+        assert not refinements.validity_region(p.with_(nodes=40))

@@ -1,0 +1,125 @@
+"""Tests for the travelling-salesman scenario (section 7 acceptance
+criteria: price, stock, aisle seats)."""
+
+import pytest
+
+from repro.workload.sales import SalesScenario, aisle_seats_only, is_aisle
+
+
+class TestSeatPredicate:
+    def test_aisle_letters(self):
+        assert is_aisle((12, "C", "smith"))
+        assert is_aisle((3, "D", "jones"))
+
+    def test_window_and_middle_are_not_aisle(self):
+        assert not is_aisle((12, "A", "smith"))
+        assert not is_aisle((12, "B", "smith"))
+
+    def test_unassigned_seat_not_aisle(self):
+        assert not is_aisle(0)
+
+    def test_criterion_diagnostic(self):
+        ok, why = aisle_seats_only().check([], [(1, "A", "x")])
+        assert not ok
+        assert "aisle" in why
+
+
+class TestOrders:
+    def test_order_at_stable_price_accepted(self):
+        s = SalesScenario(items=3, salesmen=1)
+        s.send_salesmen_out()
+        s.quote_and_order(0, item=0, quantity=5)
+        s.system.run()
+        s.salesmen_return()
+        assert s.stock_at_base(0) == 45
+        assert s.orders_at_base(0) == 5
+        assert s.rejections(0) == []
+
+    def test_price_hike_while_disconnected_rejects_quote(self):
+        """'If the price of an item has increased by a large amount ... the
+        salesman's price or delivery quote must be reconciled.'"""
+        s = SalesScenario(items=3, salesmen=1, initial_price=100.0)
+        s.send_salesmen_out()
+        s.quote_and_order(0, item=0, quantity=5)
+        s.system.run()
+        s.reprice_at_base(0, 150.0)  # head office raises the price
+        s.system.run()
+        s.salesmen_return()
+        rejections = s.rejections(0)
+        assert len(rejections) == 1
+        assert "exceeds" in rejections[0][1]
+        assert s.stock_at_base(0) == 50  # order rolled back entirely
+
+    def test_price_drop_is_acceptable(self):
+        s = SalesScenario(items=3, salesmen=1, initial_price=100.0)
+        s.send_salesmen_out()
+        s.quote_and_order(0, item=0, quantity=5)
+        s.system.run()
+        s.reprice_at_base(0, 80.0)
+        s.system.run()
+        s.salesmen_return()
+        assert s.rejections(0) == []
+        assert s.stock_at_base(0) == 45
+
+    def test_out_of_stock_rejects_order(self):
+        """'if the item is out of stock'"""
+        s = SalesScenario(items=2, salesmen=2, initial_stock=8)
+        s.send_salesmen_out()
+        s.quote_and_order(0, item=0, quantity=6)
+        s.quote_and_order(1, item=0, quantity=6)
+        s.system.run()
+        s.salesmen_return()
+        total_rejections = len(s.rejections(0)) + len(s.rejections(1))
+        assert total_rejections == 1  # one order exhausted the stock
+        assert s.stock_at_base(0) == 2
+        assert s.orders_at_base(0) == 6
+
+    def test_restock_lets_both_orders_through(self):
+        s = SalesScenario(items=2, salesmen=2, initial_stock=8)
+        s.send_salesmen_out()
+        s.quote_and_order(0, item=0, quantity=6)
+        s.quote_and_order(1, item=0, quantity=6)
+        s.system.run()
+        s.restock_at_base(0, 10)
+        s.system.run()
+        s.salesmen_return()
+        assert len(s.rejections(0)) + len(s.rejections(1)) == 0
+        assert s.stock_at_base(0) == 6
+
+
+class TestSeats:
+    def test_aisle_seat_booking_accepted(self):
+        s = SalesScenario(items=2, seats=4, salesmen=1)
+        s.send_salesmen_out()
+        s.book_seat(0, seat=0, row=12, letter="C")
+        s.system.run()
+        s.salesmen_return()
+        assert s.rejections(0) == []
+        assert s.system.nodes[0].store.value(s.seat_oid(0)) == (
+            12, "C", "customer"
+        )
+
+    def test_window_seat_booking_rejected(self):
+        """'The seats must be aisle seats.'"""
+        s = SalesScenario(items=2, seats=4, salesmen=1)
+        s.send_salesmen_out()
+        s.book_seat(0, seat=0, row=12, letter="A")
+        s.system.run()
+        s.salesmen_return()
+        rejections = s.rejections(0)
+        assert len(rejections) == 1
+        assert "aisle" in rejections[0][1]
+        assert s.system.nodes[0].store.value(s.seat_oid(0)) == 0
+
+
+class TestBaseConsistency:
+    def test_base_converged_after_campaign(self):
+        s = SalesScenario(items=4, seats=4, salesmen=3, initial_stock=10)
+        s.send_salesmen_out()
+        for salesman in range(3):
+            s.quote_and_order(salesman, item=salesman % 4, quantity=4)
+            s.book_seat(salesman, seat=salesman, row=salesman + 1, letter="C")
+        s.system.run()
+        s.salesmen_return()
+        assert s.system.base_converged()
+        assert s.system.divergence() == 0

@@ -1,0 +1,111 @@
+"""Tests for sweeps, exponent fitting, amplification, crossover."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytic import ModelParameters, eager, lazy_master
+from repro.analytic.scaling import (
+    amplification,
+    crossover,
+    fit_exponent,
+    sweep,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def p():
+    return ModelParameters(db_size=1000, nodes=1, tps=10, actions=4,
+                           action_time=0.01)
+
+
+class TestSweep:
+    def test_sweep_evaluates_each_value(self, p):
+        r = sweep(lambda q: q.nodes * 2.0, p, "nodes", [1, 3, 5])
+        assert r.xs == (1.0, 3.0, 5.0)
+        assert r.ys == (2.0, 6.0, 10.0)
+        assert r.pairs() == [(1.0, 2.0), (3.0, 6.0), (5.0, 10.0)]
+
+    def test_sweep_unknown_parameter_rejected(self, p):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda q: 1.0, p, "bogus", [1])
+
+    def test_sweep_empty_values_rejected(self, p):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda q: 1.0, p, "nodes", [])
+
+    def test_sweep_does_not_mutate_base(self, p):
+        sweep(lambda q: 0.0, p, "nodes", [5, 10])
+        assert p.nodes == 1
+
+
+class TestFitExponent:
+    @given(st.floats(0.5, 5.0), st.floats(0.01, 100.0))
+    def test_recovers_exact_power_laws(self, k, c):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [c * x**k for x in xs]
+        assert fit_exponent(xs, ys) == pytest.approx(k, rel=1e-6)
+
+    def test_negative_exponent(self):
+        xs = [1, 2, 4, 8]
+        ys = [1 / x for x in xs]
+        assert fit_exponent(xs, ys) == pytest.approx(-1.0)
+
+    def test_requires_two_positive_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponent([1.0], [2.0])
+        with pytest.raises(ConfigurationError):
+            fit_exponent([1.0, 2.0], [0.0, 0.0])
+
+    def test_requires_distinct_x(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponent([2.0, 2.0], [1.0, 4.0])
+
+    def test_ignores_nonpositive_points(self):
+        xs = [1, 2, 4, 8]
+        ys = [1, 4, 0, 64]  # the zero point is dropped
+        assert fit_exponent(xs, ys) == pytest.approx(2.0)
+
+
+class TestAmplification:
+    def test_eager_headline(self, p):
+        assert amplification(eager.total_deadlock_rate, p, "nodes", 10) == (
+            pytest.approx(1000.0)
+        )
+
+    def test_amplification_keeps_int_fields_int(self, p):
+        # nodes is an int field; factor 2.0 must still produce a valid model
+        assert amplification(eager.total_deadlock_rate, p, "nodes", 2.0) == (
+            pytest.approx(8.0)
+        )
+
+    def test_zero_base_rejected(self, p):
+        with pytest.raises(ConfigurationError):
+            amplification(lambda q: 0.0, p, "nodes", 10)
+
+
+class TestCrossover:
+    def test_finds_first_crossing(self, p):
+        # eager deadlocks (N^3) overtake 2x lazy-master (N^2) at some N
+        target = crossover(
+            eager.total_deadlock_rate,
+            lambda q: 2.0 * lazy_master.deadlock_rate(q),
+            p,
+            "nodes",
+            range(1, 50),
+        )
+        assert target is not None
+        q = p.with_(nodes=int(target))
+        assert eager.total_deadlock_rate(q) > 2 * lazy_master.deadlock_rate(q)
+        before = p.with_(nodes=int(target) - 1)
+        assert eager.total_deadlock_rate(before) <= (
+            2 * lazy_master.deadlock_rate(before)
+        )
+
+    def test_returns_none_when_never_crosses(self, p):
+        assert crossover(
+            lambda q: 1.0, lambda q: 2.0, p, "nodes", range(1, 10)
+        ) is None

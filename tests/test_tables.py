@@ -1,0 +1,83 @@
+"""Tests for the Table 1 taxonomy and Table 2 glossary."""
+
+import pytest
+
+from repro.analytic import ModelParameters
+from repro.analytic.tables import (
+    TABLE_1,
+    TABLE_2,
+    expected_transaction_count,
+    render_table_1,
+    render_table_2,
+    taxonomy_entry,
+)
+
+
+class TestTable1:
+    def test_all_five_cells_present(self):
+        assert len(TABLE_1) == 5
+
+    def test_lazy_group_cell(self):
+        entry = taxonomy_entry("lazy", "group")
+        assert entry.transactions_per_update == "N"
+        assert entry.object_owners == "N"
+
+    def test_eager_group_cell(self):
+        entry = taxonomy_entry("eager", "group")
+        assert entry.transactions_per_update == "1"
+        assert entry.object_owners == "N"
+
+    def test_lazy_master_cell(self):
+        entry = taxonomy_entry("lazy", "master")
+        assert entry.transactions_per_update == "N"
+        assert entry.object_owners == "1"
+
+    def test_eager_master_cell(self):
+        entry = taxonomy_entry("eager", "master")
+        assert entry.transactions_per_update == "1"
+        assert entry.object_owners == "1"
+
+    def test_two_tier_row(self):
+        entry = taxonomy_entry("two-tier", "two-tier")
+        assert entry.transactions_per_update == "N+1"
+        assert entry.object_owners == "1"
+        assert "tentative" in entry.note
+
+    def test_unknown_combination_raises(self):
+        with pytest.raises(KeyError):
+            taxonomy_entry("eager", "two-tier")
+
+    def test_expected_transaction_counts(self):
+        assert expected_transaction_count("eager", 5) == 1
+        assert expected_transaction_count("lazy", 5) == 5
+        assert expected_transaction_count("two-tier", 5) == 6
+        with pytest.raises(KeyError):
+            expected_transaction_count("psychic", 5)
+
+    def test_render_contains_all_rows(self):
+        text = render_table_1()
+        for word in ["eager", "lazy", "two-tier", "master", "group"]:
+            assert word in text
+
+
+class TestTable2:
+    def test_all_paper_parameters_present(self):
+        for name in [
+            "DB_Size", "Nodes", "Transactions", "TPS", "Actions",
+            "Action_Time", "Time_Between_Disconnects", "Disconnected_Time",
+            "Message_Delay", "Message_CPU",
+        ]:
+            assert name in TABLE_2
+
+    def test_attributes_resolve_on_model(self):
+        p = ModelParameters()
+        for name, (description, attr) in TABLE_2.items():
+            assert hasattr(p, attr), f"{name} -> missing attribute {attr}"
+            assert description
+
+    def test_render_shows_values(self):
+        p = ModelParameters(db_size=123, tps=45)
+        text = render_table_2(p)
+        assert "123" in text
+        assert "45" in text
+        assert "DB_Size" in text

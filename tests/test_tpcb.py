@@ -1,0 +1,122 @@
+"""Tests for the TPC-B-style workload."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.replication.lazy_master import LazyMasterSystem
+from repro.txn.ops import AppendOp, IncrementOp
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.tpcb import (
+    ACCOUNTS_PER_BRANCH,
+    TELLERS_PER_BRANCH,
+    TpcbLayout,
+    TpcbProfile,
+    branch_balance_invariant,
+)
+
+
+class TestLayout:
+    def test_ranges_are_disjoint_and_cover_db(self):
+        layout = TpcbLayout(branches=3)
+        oids = set()
+        for branch in range(3):
+            oids.add(layout.branch_oid(branch))
+            oids.add(layout.history_oid(branch))
+            for teller in range(TELLERS_PER_BRANCH):
+                oids.add(layout.teller_oid(branch, teller))
+            for account in range(ACCOUNTS_PER_BRANCH):
+                oids.add(layout.account_oid(branch, account))
+        assert len(oids) == layout.db_size
+        assert oids == set(range(layout.db_size))
+
+    def test_db_size_scales_with_branches(self):
+        assert TpcbLayout(branches=2).db_size == 2 * TpcbLayout(1).db_size
+
+    def test_bounds_checked(self):
+        layout = TpcbLayout(branches=2)
+        with pytest.raises(ConfigurationError):
+            layout.branch_oid(2)
+        with pytest.raises(ConfigurationError):
+            layout.teller_oid(0, TELLERS_PER_BRANCH)
+        with pytest.raises(ConfigurationError):
+            layout.account_oid(1, ACCOUNTS_PER_BRANCH)
+        with pytest.raises(ConfigurationError):
+            TpcbLayout(branches=0)
+
+
+class TestProfile:
+    def test_transaction_shape(self):
+        profile = TpcbProfile(TpcbLayout(branches=2))
+        ops = profile.build(random.Random(0))
+        assert len(ops) == 4
+        assert isinstance(ops[0], IncrementOp)  # account
+        assert isinstance(ops[1], IncrementOp)  # teller
+        assert isinstance(ops[2], IncrementOp)  # branch
+        assert isinstance(ops[3], AppendOp)     # history
+
+    def test_teller_belongs_to_branch(self):
+        layout = TpcbLayout(branches=4)
+        profile = TpcbProfile(layout)
+        rng = random.Random(1)
+        for _ in range(100):
+            ops = profile.build(rng)
+            branch = ops[2].oid
+            teller_index = ops[1].oid - layout.branches
+            assert teller_index // TELLERS_PER_BRANCH == branch
+
+    def test_remote_fraction_zero_keeps_accounts_home(self):
+        layout = TpcbLayout(branches=4)
+        profile = TpcbProfile(layout, remote_fraction=0.0)
+        rng = random.Random(2)
+        offset = layout.branches * (1 + TELLERS_PER_BRANCH)
+        for _ in range(100):
+            ops = profile.build(rng)
+            account_branch = (ops[0].oid - offset) // ACCOUNTS_PER_BRANCH
+            assert account_branch == ops[2].oid
+
+    def test_remote_fraction_produces_cross_branch_traffic(self):
+        layout = TpcbLayout(branches=4)
+        profile = TpcbProfile(layout, remote_fraction=1.0)
+        rng = random.Random(3)
+        offset = layout.branches * (1 + TELLERS_PER_BRANCH)
+        remote = 0
+        for _ in range(50):
+            ops = profile.build(rng)
+            account_branch = (ops[0].oid - offset) // ACCOUNTS_PER_BRANCH
+            if account_branch != ops[2].oid:
+                remote += 1
+        assert remote == 50
+
+    def test_invalid_remote_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TpcbProfile(TpcbLayout(1), remote_fraction=1.5)
+
+
+class TestEndToEnd:
+    def test_branch_invariant_holds_under_lazy_master(self):
+        layout = TpcbLayout(branches=2)
+        profile = TpcbProfile(layout, remote_fraction=0.0)
+        system = LazyMasterSystem(num_nodes=2, db_size=layout.db_size,
+                                  action_time=0.0005, seed=5,
+                                  retry_deadlocks=True)
+        workload = WorkloadGenerator(system, profile, tps=5.0)
+        workload.start(duration=30.0)
+        system.run()
+        assert system.metrics.commits > 50
+        assert system.converged()
+        assert branch_balance_invariant(system.nodes[0].store, layout)
+
+    def test_history_appends_accumulate(self):
+        layout = TpcbLayout(branches=1)
+        profile = TpcbProfile(layout)
+        system = LazyMasterSystem(num_nodes=2, db_size=layout.db_size,
+                                  action_time=0.0005, seed=6,
+                                  retry_deadlocks=True)
+        workload = WorkloadGenerator(system, profile, tps=5.0)
+        workload.start(duration=20.0)
+        system.run()
+        history = system.nodes[0].store.value(layout.history_oid(0))
+        assert isinstance(history, tuple)
+        assert len(history) == system.metrics.commits

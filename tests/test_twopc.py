@@ -1,0 +1,130 @@
+"""Tests for the two-phase-commit coordinator."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.storage.deadlock import DeadlockDetector
+from repro.storage.lock_manager import LockManager
+from repro.storage.store import ObjectStore
+from repro.storage.versioning import TimestampGenerator
+from repro.storage.wal import WriteAheadLog
+from repro.txn.manager import TransactionManager
+from repro.txn.ops import WriteOp
+from repro.txn.twopc import Participant, TwoPhaseCommit, Vote
+
+
+def make_node(engine, node_id, detector):
+    store = ObjectStore(node_id, 10)
+    locks = LockManager(engine, node_id, detector)
+    wal = WriteAheadLog()
+    clock = TimestampGenerator(node_id)
+    return TransactionManager(engine, node_id, store, locks, wal, clock,
+                              action_time=0.0)
+
+
+class RefusingParticipant(Participant):
+    def prepare(self, txn):
+        return Vote.NO
+        yield  # pragma: no cover
+
+
+def run_2pc(engine, coordinator, txn, participants):
+    p = engine.process(coordinator.run(txn, participants))
+    engine.run()
+    return p.value
+
+
+def distributed_write(engine, managers, value):
+    """Execute the same write at every node under one transaction."""
+    txn = managers[0].begin()
+
+    def proc():
+        for tm in managers:
+            yield from tm.execute(txn, WriteOp(3, value))
+
+    p = engine.process(proc())
+    engine.run()
+    assert p.exception is None
+    return txn
+
+
+def test_unanimous_yes_commits_everywhere():
+    engine = Engine()
+    detector = DeadlockDetector()
+    managers = [make_node(engine, i, detector) for i in range(3)]
+    txn = distributed_write(engine, managers, 42)
+    coordinator = TwoPhaseCommit(engine)
+    committed = run_2pc(
+        engine, coordinator, txn, [Participant(tm) for tm in managers]
+    )
+    assert committed is True
+    assert txn.state.value == "committed"
+    assert all(tm.store.value(3) == 42 for tm in managers)
+    for tm in managers:
+        tm.assert_quiescent()
+    assert coordinator.commits == 1
+
+
+def test_one_no_vote_aborts_everywhere():
+    engine = Engine()
+    detector = DeadlockDetector()
+    managers = [make_node(engine, i, detector) for i in range(3)]
+    txn = distributed_write(engine, managers, 42)
+    coordinator = TwoPhaseCommit(engine)
+    participants = [
+        Participant(managers[0]),
+        RefusingParticipant(managers[1]),
+        Participant(managers[2]),
+    ]
+    committed = run_2pc(engine, coordinator, txn, participants)
+    assert committed is False
+    assert txn.state.value == "aborted"
+    # all replicas rolled back
+    assert all(tm.store.value(3) == 0 for tm in managers)
+    assert coordinator.aborts == 1
+
+
+def test_already_aborted_txn_never_commits():
+    engine = Engine()
+    detector = DeadlockDetector()
+    managers = [make_node(engine, i, detector) for i in range(2)]
+    txn = distributed_write(engine, managers, 7)
+    txn.mark_aborted(engine.now, reason="external")
+    coordinator = TwoPhaseCommit(engine)
+    committed = run_2pc(
+        engine, coordinator, txn, [Participant(tm) for tm in managers]
+    )
+    assert committed is False
+    assert all(tm.store.value(3) == 0 for tm in managers)
+
+
+def test_log_force_time_costs_virtual_time():
+    engine = Engine()
+    detector = DeadlockDetector()
+    managers = [make_node(engine, i, detector) for i in range(2)]
+    txn = distributed_write(engine, managers, 9)
+    start = engine.now
+    coordinator = TwoPhaseCommit(engine)
+    run_2pc(
+        engine,
+        coordinator,
+        txn,
+        [Participant(tm, log_force_time=0.5) for tm in managers],
+    )
+    # prepares run concurrently (0.5) then commits sequentially (2 x 0.5)
+    assert engine.now - start == pytest.approx(1.5)
+
+
+def test_prepared_set_tracks_in_doubt_transactions():
+    engine = Engine()
+    detector = DeadlockDetector()
+    tm = make_node(engine, 0, detector)
+    txn = distributed_write(engine, [tm], 1)
+    participant = Participant(tm)
+    p = engine.process(participant.prepare(txn))
+    engine.run()
+    assert p.value is Vote.YES
+    assert txn.txn_id in participant.prepared
+    p2 = engine.process(TwoPhaseCommit(engine).run(txn, [participant]))
+    engine.run()
+    assert txn.txn_id not in participant.prepared

@@ -1,0 +1,182 @@
+"""Tests for history recording and conflict-serializability checking."""
+
+import pytest
+
+from repro.verify import ConflictGraph, History
+
+
+class TestHistoryRecording:
+    def test_events_in_order(self):
+        h = History()
+        h.record_write(0, 1, 7)
+        h.record_read(0, 2, 7)
+        assert len(h) == 2
+        assert [e.kind for e in h.events] == ["w", "r"]
+        assert h.events[0].seq < h.events[1].seq
+
+    def test_committed_filtering(self):
+        h = History()
+        h.record_write(0, 1, 7)
+        h.record_write(0, 2, 7)
+        h.mark_committed(1)
+        assert [e.txn_id for e in h.committed_events()] == [1]
+
+
+class TestConflictGraph:
+    def test_serial_history_is_serializable(self):
+        h = History()
+        for txn in [1, 2, 3]:
+            h.record_read(0, txn, 5)
+            h.record_write(0, txn, 5)
+            h.mark_committed(txn)
+        graph = h.conflict_graph()
+        assert graph.is_serializable()
+        assert graph.serial_order() == [1, 2, 3]
+
+    def test_reads_do_not_conflict(self):
+        h = History()
+        h.record_read(0, 1, 5)
+        h.record_read(0, 2, 5)
+        h.record_read(0, 1, 5)
+        h.mark_committed(1)
+        h.mark_committed(2)
+        graph = h.conflict_graph()
+        assert graph.edge_count() == 0
+        assert graph.is_serializable()
+
+    def test_write_read_conflict_creates_edge(self):
+        h = History()
+        h.record_write(0, 1, 5)
+        h.record_read(0, 2, 5)
+        h.mark_committed(1)
+        h.mark_committed(2)
+        graph = h.conflict_graph()
+        assert 2 in graph.edges.get(1, set())
+
+    def test_classic_anomaly_is_cyclic(self):
+        # T1 and T2 each read-then-write x and y interleaved: lost update
+        h = History()
+        h.record_read(0, 1, 0)   # r1(x)
+        h.record_read(0, 2, 0)   # r2(x)
+        h.record_write(0, 1, 0)  # w1(x): edge 2 -> 1 (r2 before w1)
+        h.record_write(0, 2, 1)  # and on y ...
+        h.record_read(0, 1, 1)
+        # r1(y) after w2(y): edge 2 -> 1; need opposite edge: w2(x) after w1(x)
+        h.record_write(0, 2, 0)  # w2(x): edge 1 -> 2
+        h.mark_committed(1)
+        h.mark_committed(2)
+        graph = h.conflict_graph()
+        assert not graph.is_serializable()
+        cycle = graph.find_cycle()
+        assert set(cycle) == {1, 2}
+        with pytest.raises(ValueError):
+            graph.serial_order()
+
+    def test_replica_divergent_orders_are_cyclic(self):
+        """The lazy-group anomaly: node A applies T1 then T2, node B applies
+        T2 then T1."""
+        h = History()
+        h.record_write(0, 1, 9)  # node 0: T1 first
+        h.record_write(0, 2, 9)
+        h.record_write(1, 2, 9)  # node 1: T2 first
+        h.record_write(1, 1, 9)
+        h.mark_committed(1)
+        h.mark_committed(2)
+        assert not h.conflict_graph().is_serializable()
+
+    def test_same_order_at_all_replicas_is_serializable(self):
+        h = History()
+        for node in [0, 1, 2]:
+            h.record_write(node, 1, 9)
+            h.record_write(node, 2, 9)
+        h.mark_committed(1)
+        h.mark_committed(2)
+        graph = h.conflict_graph()
+        assert graph.is_serializable()
+        assert graph.serial_order() == [1, 2]
+
+    def test_uncommitted_transactions_cannot_create_anomalies(self):
+        h = History()
+        h.record_write(0, 1, 9)
+        h.record_write(0, 2, 9)
+        h.record_write(1, 2, 9)
+        h.record_write(1, 1, 9)
+        h.mark_committed(1)  # 2 aborted: its writes were undone
+        assert h.conflict_graph().is_serializable()
+
+    def test_as_networkx_roundtrip(self):
+        graph = ConflictGraph(nodes={1, 2}, edges={1: {2}})
+        nx_graph = graph.as_networkx()
+        assert set(nx_graph.nodes) == {1, 2}
+        assert list(nx_graph.edges) == [(1, 2)]
+
+
+class TestSystemHistories:
+    """The paper's claims about the schedules each strategy produces."""
+
+    def _drive(self, system, writers=3, per_writer=4):
+        from repro.txn.ops import IncrementOp
+
+        for origin in range(min(writers, system.num_nodes)):
+            for i in range(per_writer):
+                system.submit(
+                    origin, [IncrementOp((origin + i) % 4, 1), IncrementOp(3, 1)]
+                )
+        system.run()
+
+    def test_eager_group_histories_are_serializable(self):
+        """'Eager replication gives serializable execution — there are no
+        concurrency anomalies.'"""
+        from repro.replication.eager_group import EagerGroupSystem
+
+        for seed in range(3):
+            system = EagerGroupSystem(num_nodes=3, db_size=4,
+                                      action_time=0.002, seed=seed,
+                                      record_history=True,
+                                      retry_deadlocks=True)
+            self._drive(system)
+            graph = system.history.conflict_graph()
+            assert graph.is_serializable(), graph.find_cycle()
+
+    def test_eager_master_histories_are_serializable(self):
+        from repro.replication.eager_master import EagerMasterSystem
+
+        system = EagerMasterSystem(num_nodes=3, db_size=4, action_time=0.002,
+                                   seed=1, record_history=True,
+                                   retry_deadlocks=True)
+        self._drive(system)
+        assert system.history.conflict_graph().is_serializable()
+
+    def test_lazy_master_histories_are_serializable(self):
+        """Master serialization orders all writes; slave installs replay
+        them in timestamp order, so the one-copy schedule stays clean."""
+        from repro.replication.lazy_master import LazyMasterSystem
+
+        system = LazyMasterSystem(num_nodes=3, db_size=4, action_time=0.002,
+                                  seed=1, record_history=True,
+                                  retry_deadlocks=True)
+        self._drive(system)
+        system.run()
+        assert system.history.conflict_graph().is_serializable()
+
+    def test_lazy_group_race_produces_anomaly(self):
+        """Racing update-anywhere writes install in different orders at
+        different replicas — a concrete non-serializable schedule."""
+        from repro.replication.lazy_group import LazyGroupSystem
+        from repro.txn.ops import WriteOp
+
+        found_anomaly = False
+        for seed in range(5):
+            system = LazyGroupSystem(num_nodes=3, db_size=2,
+                                     action_time=0.001, message_delay=0.5,
+                                     seed=seed, record_history=True)
+            system.submit(0, [WriteOp(0, 111)])
+            system.submit(1, [WriteOp(0, 222)])
+            system.submit(2, [WriteOp(0, 333)])
+            system.run()
+            if not system.history.conflict_graph().is_serializable():
+                found_anomaly = True
+                break
+        assert found_anomaly, (
+            "racing lazy-group writes should produce a precedence cycle"
+        )

@@ -1,0 +1,141 @@
+"""Tests for Lamport timestamps and version vectors."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.versioning import Timestamp, TimestampGenerator, VersionVector
+
+
+class TestTimestamp:
+    def test_total_order_by_counter_then_node(self):
+        assert Timestamp(1, 0) < Timestamp(2, 0)
+        assert Timestamp(1, 0) < Timestamp(1, 1)
+        assert Timestamp(2, 0) > Timestamp(1, 5)
+
+    def test_zero_is_smallest(self):
+        assert Timestamp.ZERO < Timestamp(1, 0)
+        assert Timestamp.ZERO < Timestamp(0, 0)
+
+    def test_equality_and_hash(self):
+        assert Timestamp(3, 1) == Timestamp(3, 1)
+        assert hash(Timestamp(3, 1)) == hash(Timestamp(3, 1))
+        assert Timestamp(3, 1) != Timestamp(3, 2)
+
+    def test_next_at(self):
+        ts = Timestamp(5, 0).next_at(2)
+        assert ts == Timestamp(6, 2)
+        assert ts > Timestamp(5, 0)
+
+    def test_str_format(self):
+        assert str(Timestamp(4, 2)) == "4@2"
+
+    @given(st.integers(0, 1000), st.integers(0, 32),
+           st.integers(0, 1000), st.integers(0, 32))
+    def test_distinct_pairs_never_equal_compare(self, c1, n1, c2, n2):
+        a, b = Timestamp(c1, n1), Timestamp(c2, n2)
+        if (c1, n1) != (c2, n2):
+            assert (a < b) != (b < a)  # strict total order
+        else:
+            assert a == b
+
+
+class TestTimestampGenerator:
+    def test_tick_increases(self):
+        gen = TimestampGenerator(node_id=3)
+        first = gen.tick()
+        second = gen.tick()
+        assert second > first
+        assert first.node_id == 3
+
+    def test_witness_advances_clock(self):
+        gen = TimestampGenerator(node_id=0)
+        gen.tick()
+        gen.witness(Timestamp(100, 5))
+        assert gen.tick() > Timestamp(100, 5)
+
+    def test_witness_older_timestamp_is_noop(self):
+        gen = TimestampGenerator(node_id=0)
+        for _ in range(10):
+            gen.tick()
+        gen.witness(Timestamp(2, 9))
+        assert gen.current_counter == 10
+
+    def test_two_nodes_never_collide(self):
+        a = TimestampGenerator(node_id=0)
+        b = TimestampGenerator(node_id=1)
+        stamps = [a.tick() for _ in range(20)] + [b.tick() for _ in range(20)]
+        assert len(set(stamps)) == 40
+
+
+class TestVersionVector:
+    def test_empty_vectors_equal(self):
+        assert VersionVector() == VersionVector()
+        assert not VersionVector().concurrent_with(VersionVector())
+
+    def test_bump_is_functional(self):
+        v = VersionVector()
+        v2 = v.bump(1)
+        assert v.get(1) == 0
+        assert v2.get(1) == 1
+
+    def test_dominates_after_bump(self):
+        v = VersionVector().bump(0)
+        assert v.dominates(VersionVector())
+        assert not VersionVector().dominates(v)
+
+    def test_concurrent_vectors(self):
+        a = VersionVector().bump(0)
+        b = VersionVector().bump(1)
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_merge_is_component_max(self):
+        a = VersionVector({0: 3, 1: 1})
+        b = VersionVector({0: 1, 1: 5, 2: 2})
+        merged = a.merge(b)
+        assert merged.get(0) == 3
+        assert merged.get(1) == 5
+        assert merged.get(2) == 2
+
+    def test_merge_dominates_both(self):
+        a = VersionVector({0: 3})
+        b = VersionVector({1: 2})
+        merged = a.merge(b)
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+
+    def test_zero_components_ignored_in_equality(self):
+        assert VersionVector({0: 0}) == VersionVector()
+        assert hash(VersionVector({0: 0})) == hash(VersionVector())
+
+    @given(
+        st.dictionaries(st.integers(0, 5), st.integers(0, 10)),
+        st.dictionaries(st.integers(0, 5), st.integers(0, 10)),
+    )
+    def test_merge_commutative(self, da, db):
+        a, b = VersionVector(da), VersionVector(db)
+        assert a.merge(b) == b.merge(a)
+
+    @given(
+        st.dictionaries(st.integers(0, 5), st.integers(0, 10)),
+        st.dictionaries(st.integers(0, 5), st.integers(0, 10)),
+        st.dictionaries(st.integers(0, 5), st.integers(0, 10)),
+    )
+    def test_merge_associative(self, da, db, dc):
+        a, b, c = VersionVector(da), VersionVector(db), VersionVector(dc)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(
+        st.dictionaries(st.integers(0, 5), st.integers(0, 10)),
+        st.dictionaries(st.integers(0, 5), st.integers(0, 10)),
+    )
+    def test_dominance_trichotomy_consistent(self, da, db):
+        a, b = VersionVector(da), VersionVector(db)
+        # exactly one of: a==b, a>b, b>a, concurrent
+        states = [
+            a == b,
+            a.dominates(b) and not b.dominates(a),
+            b.dominates(a) and not a.dominates(b),
+            a.concurrent_with(b),
+        ]
+        assert sum(states) == 1

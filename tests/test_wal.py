@@ -1,0 +1,86 @@
+"""Tests for the write-ahead (undo) log."""
+
+import pytest
+
+from repro.exceptions import InvalidStateError
+from repro.storage.store import ObjectStore
+from repro.storage.versioning import Timestamp
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture()
+def store():
+    return ObjectStore(node_id=0, db_size=10)
+
+
+def test_record_and_forget(store):
+    wal = WriteAheadLog()
+    wal.record(1, 0, 0, Timestamp.ZERO, 5, Timestamp(1, 0))
+    assert wal.pending_transactions() == 1
+    assert wal.forget(1) == 1
+    assert wal.pending_transactions() == 0
+
+
+def test_undo_restores_value_and_timestamp(store):
+    wal = WriteAheadLog()
+    ts = Timestamp(1, 0)
+    wal.record(1, 0, 0, Timestamp.ZERO, 5, ts)
+    store.write(0, 5, ts)
+    undone = wal.undo(1, store)
+    assert undone == 1
+    assert store.value(0) == 0
+    assert store.timestamp(0) == Timestamp.ZERO
+
+
+def test_undo_multiple_writes_reverse_order(store):
+    wal = WriteAheadLog()
+    # txn writes object 0 twice: 0 -> 5 -> 9
+    wal.record(1, 0, 0, Timestamp.ZERO, 5, Timestamp(1, 0))
+    store.write(0, 5, Timestamp(1, 0))
+    wal.record(1, 0, 5, Timestamp(1, 0), 9, Timestamp(2, 0))
+    store.write(0, 9, Timestamp(2, 0))
+    wal.undo(1, store)
+    assert store.value(0) == 0  # fully back to the beginning
+
+
+def test_undo_only_touches_own_txn(store):
+    wal = WriteAheadLog()
+    wal.record(1, 0, 0, Timestamp.ZERO, 5, Timestamp(1, 0))
+    wal.record(2, 1, 0, Timestamp.ZERO, 7, Timestamp(2, 0))
+    store.write(0, 5, Timestamp(1, 0))
+    store.write(1, 7, Timestamp(2, 0))
+    wal.undo(1, store)
+    assert store.value(0) == 0
+    assert store.value(1) == 7  # txn 2 untouched
+    assert wal.pending_transactions() == 1
+
+
+def test_undo_unknown_txn_is_noop(store):
+    wal = WriteAheadLog()
+    assert wal.undo(42, store) == 0
+
+
+def test_entries_for_preserves_order(store):
+    wal = WriteAheadLog()
+    wal.record(1, 3, 0, Timestamp.ZERO, 1, Timestamp(1, 0))
+    wal.record(1, 4, 0, Timestamp.ZERO, 2, Timestamp(2, 0))
+    oids = [e.oid for e in wal.entries_for(1)]
+    assert oids == [3, 4]
+
+
+def test_total_entries_counts_all(store):
+    wal = WriteAheadLog()
+    for i in range(5):
+        wal.record(1, i, 0, Timestamp.ZERO, i, Timestamp(i + 1, 0))
+    wal.forget(1)
+    assert wal.total_entries == 5  # historical count survives forget
+
+
+def test_assert_quiescent(store):
+    wal = WriteAheadLog()
+    wal.assert_quiescent()  # empty: fine
+    wal.record(1, 0, 0, Timestamp.ZERO, 5, Timestamp(1, 0))
+    with pytest.raises(InvalidStateError):
+        wal.assert_quiescent()
+    wal.forget(1)
+    wal.assert_quiescent()
