@@ -12,50 +12,51 @@ Measured: the per-server and aggregate action rates of the figure's three
   other's updates (so each does 2 TPS of update work; N^2 aggregate growth);
 
 — plus the analytic equation-8 curve confirming the N^2 law.
+
+Both measured designs run through the campaign runner
+(:mod:`repro.harness.campaign`): each design is a declarative grid cell,
+and the worker pool executes the cells in parallel.
 """
+
+import pytest
 
 from repro.analytic import eager as eager_eqs
 from repro.analytic import ModelParameters
 from repro.analytic.scaling import fit_exponent, sweep
+from repro.harness.campaign import Campaign, run_campaign
 from repro.metrics.report import format_series, format_table
-from repro.replication.eager_group import EagerGroupSystem
-from repro.replication.eager_master import single_master_ownership
-from repro.replication.eager_master import EagerMasterSystem
-from repro.txn.ops import IncrementOp
-from repro.workload.generator import WorkloadGenerator
-from repro.workload.profiles import uniform_update_profile
 
 TPS = 1.0
 ACTIONS = 2
 DURATION = 200.0
+JOBS = 2
 
 
 def run_partitioned():
     """Two independent 1-TPS servers over disjoint halves of the data:
-    modelled as two separate single-node systems."""
-    total_actions = 0
-    for half in range(2):
-        system = EagerGroupSystem(num_nodes=1, db_size=50, action_time=0.0,
-                                  seed=half)
-        workload = WorkloadGenerator(
-            system, uniform_update_profile(actions=ACTIONS, db_size=50),
-            tps=TPS,
-        )
-        workload.start(DURATION)
-        system.run()
-        total_actions += system.metrics.actions
-    return total_actions / DURATION
+    modelled as two separate single-node systems (one campaign cell per
+    half, distinguished by seed)."""
+    campaign = Campaign(
+        strategies=("eager-group",),
+        base_params=ModelParameters(db_size=50, nodes=1, tps=TPS,
+                                    actions=ACTIONS, action_time=0.0),
+        seeds=(0, 1),
+        duration=DURATION,
+    )
+    outcome = run_campaign(campaign, jobs=JOBS)
+    return sum(o.payload["rates"]["action_rate"] for o in outcome.outcomes)
 
 
 def run_replicated():
-    system = EagerGroupSystem(num_nodes=2, db_size=100, action_time=0.0,
-                              seed=0)
-    workload = WorkloadGenerator(
-        system, uniform_update_profile(actions=ACTIONS, db_size=100), tps=TPS
+    campaign = Campaign(
+        strategies=("eager-group",),
+        base_params=ModelParameters(db_size=100, nodes=2, tps=TPS,
+                                    actions=ACTIONS, action_time=0.0),
+        seeds=(0,),
+        duration=DURATION,
     )
-    workload.start(DURATION)
-    system.run()
-    return system.metrics.actions / DURATION
+    outcome = run_campaign(campaign, jobs=JOBS)
+    return outcome.outcomes[0].payload["rates"]["action_rate"]
 
 
 def analytic_curve():
@@ -92,6 +93,3 @@ def test_bench_figure3(benchmark):
     assert replicated / partitioned == pytest.approx(2.0, rel=0.25)
     # equation 8 is exactly quadratic
     assert fit_exponent(curve.xs, curve.ys) == pytest.approx(2.0)
-
-
-import pytest  # noqa: E402  (used in assertions above)

@@ -8,6 +8,10 @@ replication scheme."
 
 One table, all five strategies, same Table-2 parameters: who waits, who
 deadlocks, who reconciles, who rejects, who diverges.
+
+The five runs go through the campaign runner's worker pool (each strategy
+is one grid cell); every run is a deterministic function of its
+configuration, so the parallel results match a serial execution exactly.
 """
 
 import pytest
@@ -21,7 +25,7 @@ DURATION = 120.0
 
 
 def simulate():
-    return strategy_comparison(PARAMS, duration=DURATION, seed=2)
+    return strategy_comparison(PARAMS, duration=DURATION, seed=2, jobs=2)
 
 
 def test_bench_strategy_comparison(benchmark):

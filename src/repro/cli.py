@@ -4,16 +4,20 @@ Commands:
 
 * ``tables`` — print the paper's Table 1 and Table 2.
 * ``danger`` — print the analytic danger curves (equations 12, 14, 18, 19)
-  for given model parameters.
+  for given model parameters; ``--measure`` adds simulated points.
 * ``simulate`` — run one simulated experiment and print its measured rates.
 * ``compare`` — run every strategy at the given parameters and print the
   section-8 scorecard.
+* ``verify`` — record a run's history and certify schedule serializability.
+* ``sweep`` — run a (strategy × nodes × seed) campaign over a worker pool
+  and print mean ± 95% CI per cell with measured-vs-model fit exponents.
 
 Examples::
 
     python -m repro danger --nodes 20 --db-size 10000
     python -m repro simulate --strategy lazy-group --nodes 4 --duration 60
     python -m repro compare --nodes 4 --tps 3 --db-size 60
+    python -m repro sweep --strategy lazy-group --nodes 1,2,4,8 --seeds 5 --jobs 4
 """
 
 from __future__ import annotations
@@ -32,20 +36,41 @@ from repro.analytic import (
 from repro.analytic.presets import PRESETS, preset
 from repro.analytic.scaling import fit_exponent, sweep
 from repro.analytic.tables import render_table_1, render_table_2
+from repro.exceptions import ConfigurationError
 from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.campaign import Campaign, campaign_table, run_campaign
 from repro.harness.comparison import strategy_comparison, strategy_table
 from repro.harness.experiment import STRATEGIES
 from repro.metrics.report import format_series, format_table
 
+# Which flags reach which path: the analytic commands (``tables``,
+# ``danger`` without --measure) evaluate the closed-form model, which uses
+# every Table-2 flag *except* --message-delay (the paper drops message
+# costs: "These delays and extra processing are ignored").  The simulated
+# commands (``simulate``, ``compare``, ``verify``, ``sweep``, ``danger
+# --measure``) honour --message-delay as real propagation latency.
+_FLAG_PATHS_EPILOG = (
+    "flag paths: --db-size/--nodes/--tps/--actions/--action-time/"
+    "--disconnect-time feed both the analytic model and the simulator; "
+    "--message-delay only affects simulated runs (the analytic model "
+    "ignores message costs by construction)."
+)
 
-def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+
+def _add_model_arguments(parser: argparse.ArgumentParser,
+                         nodes_list: bool = False) -> None:
     parser.add_argument("--preset", choices=sorted(PRESETS), default=None,
                         help="start from a named scenario preset; explicit "
                         "flags override its fields")
     parser.add_argument("--db-size", type=int, default=10_000,
                         help="objects in the database (Table 2 DB_Size)")
-    parser.add_argument("--nodes", type=int, default=10,
-                        help="replica nodes (Table 2 Nodes)")
+    if nodes_list:
+        parser.add_argument("--nodes", default="10",
+                            help="comma-separated replica node counts to "
+                            "sweep (e.g. 1,2,4,8)")
+    else:
+        parser.add_argument("--nodes", type=int, default=10,
+                            help="replica nodes (Table 2 Nodes)")
     parser.add_argument("--tps", type=float, default=10.0,
                         help="transactions/second per node (Table 2 TPS)")
     parser.add_argument("--actions", type=int, default=5,
@@ -55,7 +80,9 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--disconnect-time", type=float, default=0.0,
                         help="mean dark period for mobile scenarios")
     parser.add_argument("--message-delay", type=float, default=0.0,
-                        help="replica propagation delay (model ignores it)")
+                        help="replica propagation delay in seconds; the "
+                        "simulator honours it, the analytic model ignores "
+                        "it (the paper drops message costs)")
 
 
 _MODEL_FLAGS = {
@@ -117,11 +144,44 @@ def cmd_danger(args: argparse.Namespace) -> int:
         print(format_series(result.xs, result.ys, x_label="nodes",
                             y_label="mobile reconciliations/s (eq 18)"))
         print(f"  growth order: N^{fit_exponent(result.xs, result.ys):.1f}\n")
+    if args.measure:
+        _print_measured_danger(args, params, node_axis)
     return 0
+
+
+def _print_measured_danger(args: argparse.Namespace, params: ModelParameters,
+                           node_axis: List[int]) -> None:
+    """The danger curves' measured side: a campaign over the node axis."""
+    campaign = Campaign(
+        strategies=STRATEGIES,
+        base_params=params,
+        axis="nodes",
+        values=tuple(node_axis),
+        seeds=tuple(range(args.seeds)),
+        duration=args.duration,
+    )
+    outcome = run_campaign(campaign, jobs=args.jobs,
+                           cache_dir=args.cache_dir,
+                           progress=_progress_line(campaign.total_runs))
+    print(campaign_table(
+        outcome.aggregate(),
+        title="measured danger rates (simulated, mean over "
+        f"{args.seeds} seed(s))",
+    ))
+    print()
+    for fit in outcome.fits():
+        print("  " + fit.describe())
+    print(f"\n{outcome.describe()}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     params = _params(args)
+    tracer = None
+    if args.trace:
+        from repro.sim.tracing import Tracer
+
+        tracer = Tracer(categories=set(args.trace.split(","))
+                        if args.trace != "all" else None)
     result = run_experiment(
         ExperimentConfig(
             strategy=args.strategy,
@@ -129,6 +189,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             duration=args.duration,
             seed=args.seed,
             commutative=args.commutative,
+            tracer=tracer,
         )
     )
     print(format_table(
@@ -148,41 +209,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
         path = write_json(result, args.json)
         print(f"result written to {path}")
-    if args.trace:
-        _print_trace_sample(args, params)
-    return 0
-
-
-def _print_trace_sample(args: argparse.Namespace, params) -> int:
-    """Re-run the experiment's system with an echoing tracer attached.
-
-    The harness path does not thread a tracer, so the trace sample rebuilds
-    the same seeded system directly — identical behaviour by determinism.
-    """
-    from repro.harness.experiment import build_system
-    from repro.sim.tracing import Tracer
-    from repro.workload.generator import WorkloadGenerator
-    from repro.workload.profiles import uniform_update_profile
-
-    config = ExperimentConfig(strategy=args.strategy, params=params,
-                              duration=min(args.duration, 5.0),
-                              seed=args.seed, commutative=args.commutative)
-    system = build_system(config)
-    system.tracer = Tracer(categories=set(args.trace.split(","))
-                           if args.trace != "all" else None)
-    workload = WorkloadGenerator(
-        system,
-        uniform_update_profile(actions=params.actions,
-                               db_size=params.db_size,
-                               commutative=args.commutative),
-        tps=params.tps,
-    )
-    workload.start(config.duration)
-    system.run()
-    print(f"\ntrace sample (first 5 virtual seconds, "
-          f"{len(system.tracer)} events):")
-    for event in system.tracer.events()[:40]:
-        print("  " + event.format())
+    if tracer is not None:
+        sample = [e for e in tracer.events() if e.time <= 5.0][:40]
+        print(f"\ntrace sample (first 5 virtual seconds, "
+              f"{len(sample)} events):")
+        for event in sample:
+            print("  " + event.format())
     return 0
 
 
@@ -190,7 +222,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     params = _params(args)
     results = strategy_comparison(
         params, duration=args.duration, seed=args.seed,
-        commutative=args.commutative,
+        commutative=args.commutative, jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     print(strategy_table(results))
     return 0
@@ -199,45 +232,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     """Run a strategy with history recording and certify its schedule."""
     from repro.verify.invariants import check_all
-    from repro.workload.generator import WorkloadGenerator
-    from repro.workload.profiles import uniform_update_profile
 
     params = _params(args)
-    kwargs = dict(
-        db_size=params.db_size,
-        action_time=params.action_time,
-        message_delay=params.message_delay,
-        seed=args.seed,
-        record_history=True,
-        retry_deadlocks=True,
+    # the one harness path: history recording and deadlock retries are
+    # plain ExperimentConfig fields, and the result keeps the live system
+    # for certification (propagate_ops stays off — the workload commutes,
+    # but propagation ships values, matching the baseline measurements)
+    result = run_experiment(
+        ExperimentConfig(
+            strategy=args.strategy,
+            params=params,
+            duration=args.duration,
+            seed=args.seed,
+            commutative=True,
+            record_history=True,
+            retry_deadlocks=True,
+            propagate_ops=False,
+        )
     )
-    from repro.core.protocol import TwoTierSystem
-    from repro.replication.eager_group import EagerGroupSystem
-    from repro.replication.eager_master import EagerMasterSystem
-    from repro.replication.lazy_group import LazyGroupSystem
-    from repro.replication.lazy_master import LazyMasterSystem
-
-    classes = {
-        "eager-group": EagerGroupSystem,
-        "eager-master": EagerMasterSystem,
-        "lazy-group": LazyGroupSystem,
-        "lazy-master": LazyMasterSystem,
-    }
-    if args.strategy == "two-tier":
-        system = TwoTierSystem(num_base=1, num_mobile=params.nodes, **kwargs)
-        workload_nodes = list(system.mobiles)
-    else:
-        system = classes[args.strategy](num_nodes=params.nodes, **kwargs)
-        workload_nodes = None
-    workload = WorkloadGenerator(
-        system,
-        uniform_update_profile(actions=params.actions, db_size=params.db_size,
-                               commutative=True),
-        tps=params.tps,
-        node_ids=workload_nodes,
-    )
-    workload.start(args.duration)
-    system.run()
+    system = result.system
 
     expect_serializable = args.strategy != "lazy-group"
     report = check_all(system, expect_serializable=expect_serializable)
@@ -255,6 +268,90 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok and graph.is_serializable() else 1
 
 
+def _progress_line(total: int):
+    """Progress callback printing a single overwriting status line."""
+    def report(outcome, done: int, _total: int) -> None:
+        origin = "cache" if outcome.cached else outcome.status
+        line = f"[{done}/{total}] {outcome.spec.label()} ({origin})"
+        end = "\n" if done == total else "\r"
+        print(f"{line:<72}", end=end, file=sys.stderr, flush=True)
+
+    return report
+
+
+def _parse_node_list(text: str) -> List[int]:
+    try:
+        values = [int(part) for part in str(text).split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"invalid --nodes list {text!r}: expected "
+                         "comma-separated integers like 1,2,4,8")
+    if not values:
+        raise SystemExit("--nodes list is empty")
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (strategy × nodes × seed) campaign over a worker pool."""
+    if args.strategy == "all":
+        strategies = STRATEGIES
+    else:
+        strategies = tuple(args.strategy.split(","))
+        for strategy in strategies:
+            if strategy not in STRATEGIES:
+                raise SystemExit(f"unknown strategy {strategy!r}; expected "
+                                 f"one of {', '.join(STRATEGIES)} or 'all'")
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be at least 1")
+    node_values = _parse_node_list(args.nodes)
+    args.nodes = node_values[0]  # _params wants a scalar for the base point
+    params = _params(args)
+    campaign = Campaign(
+        strategies=strategies,
+        base_params=params,
+        axis="nodes",
+        values=tuple(node_values),
+        seeds=tuple(range(args.seeds)),
+        duration=args.duration,
+        commutative=args.commutative,
+        warmup=args.warmup,
+    )
+    cache_dir = None if args.no_cache else args.cache_dir
+    outcome = run_campaign(
+        campaign,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        timeout=args.timeout,
+        progress=_progress_line(campaign.total_runs),
+    )
+    cells = outcome.aggregate()
+    print(campaign_table(
+        cells,
+        title=f"campaign: {', '.join(strategies)} × nodes "
+        f"{','.join(map(str, node_values))} × {args.seeds} seed(s), "
+        f"duration {args.duration:g}s",
+    ))
+    fits = outcome.fits()
+    if fits:
+        print("\nfit exponents (rate vs nodes):")
+        for fit in fits:
+            print("  " + fit.describe())
+    print(f"\n{outcome.describe()}")
+    for failure in outcome.failures:
+        print(f"  FAILED {failure.spec.label()}: {failure.error}",
+              file=sys.stderr)
+    if args.json:
+        from repro.harness.export import campaign_to_dict, write_json
+
+        path = write_json(campaign_to_dict(outcome), args.json)
+        print(f"campaign written to {path}")
+    if args.csv:
+        from repro.harness.export import write_campaign_csv
+
+        path = write_campaign_csv(outcome, args.csv)
+        print(f"cell aggregates written to {path}")
+    return 0 if not outcome.failures else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -263,15 +360,30 @@ def build_parser() -> argparse.ArgumentParser:
             "reproduced: analytic curves, simulated experiments, and the "
             "two-tier protocol."
         ),
+        epilog=_FLAG_PATHS_EPILOG,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_tables = sub.add_parser("tables", help="print Tables 1 and 2")
+    p_tables = sub.add_parser("tables", help="print Tables 1 and 2",
+                              epilog=_FLAG_PATHS_EPILOG)
     _add_model_arguments(p_tables)
     p_tables.set_defaults(fn=cmd_tables)
 
-    p_danger = sub.add_parser("danger", help="print the analytic danger curves")
+    p_danger = sub.add_parser("danger",
+                              help="print the analytic danger curves",
+                              epilog=_FLAG_PATHS_EPILOG)
     _add_model_arguments(p_danger)
+    p_danger.add_argument("--measure", action="store_true",
+                          help="also run a simulated campaign along the "
+                          "node axis and print measured rates with CIs")
+    p_danger.add_argument("--seeds", type=int, default=3,
+                          help="seed replicas per measured point")
+    p_danger.add_argument("--duration", type=float, default=30.0,
+                          help="virtual seconds per measured run")
+    p_danger.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for --measure (0 = inline)")
+    p_danger.add_argument("--cache-dir", default=None, metavar="PATH",
+                          help="content-hash result cache for --measure")
     p_danger.set_defaults(fn=cmd_danger)
 
     p_sim = sub.add_parser("simulate", help="run one simulated experiment")
@@ -288,12 +400,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the result as JSON to PATH")
     p_sim.set_defaults(fn=cmd_simulate)
 
-    p_cmp = sub.add_parser("compare", help="run every strategy, one table")
+    p_cmp = sub.add_parser("compare", help="run every strategy, one table",
+                           epilog=_FLAG_PATHS_EPILOG)
     _add_model_arguments(p_cmp)
     p_cmp.add_argument("--duration", type=float, default=60.0)
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--commutative", action="store_true")
+    p_cmp.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = run inline)")
+    p_cmp.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="content-hash result cache directory")
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a (strategy × nodes × seed) campaign over a worker pool",
+        epilog=_FLAG_PATHS_EPILOG,
+    )
+    _add_model_arguments(p_sweep, nodes_list=True)
+    p_sweep.add_argument("--strategy", default="lazy-group",
+                         help="strategy name, comma-separated list, or "
+                         "'all' (default: lazy-group)")
+    p_sweep.add_argument("--seeds", type=int, default=3,
+                         help="seed replicas per grid cell (seeds 0..N-1)")
+    p_sweep.add_argument("--duration", type=float, default=30.0,
+                         help="virtual seconds per run")
+    p_sweep.add_argument("--warmup", type=float, default=0.0,
+                         help="virtual warmup seconds excluded from rates")
+    p_sweep.add_argument("--commutative", action="store_true",
+                         help="use commuting increment transactions")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (0 = run inline, no "
+                         "crash isolation)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-run wall-clock limit in seconds")
+    p_sweep.add_argument("--cache-dir", default=".repro_cache",
+                         metavar="PATH",
+                         help="content-hash result cache directory "
+                         "(default: .repro_cache)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache")
+    p_sweep.add_argument("--json", default=None, metavar="PATH",
+                         help="write the full campaign (runs + cells + "
+                         "fits) as JSON")
+    p_sweep.add_argument("--csv", default=None, metavar="PATH",
+                         help="write per-cell rate aggregates as CSV")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_verify = sub.add_parser(
         "verify",
@@ -311,7 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigurationError as exc:
+        raise SystemExit(f"invalid configuration: {exc}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

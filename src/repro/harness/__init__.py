@@ -12,15 +12,34 @@ produces the rows each benchmark prints; :mod:`~repro.harness.figures` fits
 growth exponents and renders ASCII curves.
 """
 
-from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.experiment import (
+    STRATEGIES,
+    STRATEGY_CLASSES,
+    ExperimentConfig,
+    ExperimentResult,
+    build_system,
+    run_experiment,
+)
 from repro.harness.comparison import analytic_vs_simulated, strategy_comparison
 from repro.harness.export import result_to_dict, write_json
 from repro.harness.figures import render_sweep, shape_summary
 from repro.harness.stats import RateEstimate, SeedStats, repeat_experiment
+from repro.harness.campaign import (
+    Campaign,
+    CampaignResult,
+    CellStats,
+    RunOutcome,
+    RunSpec,
+    campaign_table,
+    run_campaign,
+)
 
 __all__ = [
+    "STRATEGIES",
+    "STRATEGY_CLASSES",
     "ExperimentConfig",
     "ExperimentResult",
+    "build_system",
     "run_experiment",
     "analytic_vs_simulated",
     "strategy_comparison",
@@ -31,4 +50,11 @@ __all__ = [
     "RateEstimate",
     "result_to_dict",
     "write_json",
+    "Campaign",
+    "CampaignResult",
+    "CellStats",
+    "RunOutcome",
+    "RunSpec",
+    "campaign_table",
+    "run_campaign",
 ]

@@ -95,20 +95,35 @@ def strategy_comparison(
     duration: float = 100.0,
     seed: int = 0,
     commutative: bool = False,
+    jobs: int = 0,
+    cache_dir=None,
 ) -> Dict[str, ExperimentResult]:
     """Run every strategy at identical load — the section 8 summary,
-    quantified.  Returns strategy -> result."""
+    quantified.  Returns strategy -> result.
+
+    Runs through the campaign runner: ``jobs`` worker processes fan the
+    strategies out (0 = inline), ``cache_dir`` enables the content-hash
+    result cache.  Results are identical either way — each run is a
+    deterministic function of its configuration.
+    """
+    from repro.harness.campaign import Campaign, run_campaign
+
+    campaign = Campaign(
+        strategies=tuple(strategies),
+        base_params=params,
+        seeds=(seed,),
+        duration=duration,
+        commutative=commutative,
+    )
+    outcome = run_campaign(campaign, jobs=jobs, cache_dir=cache_dir)
     results: Dict[str, ExperimentResult] = {}
-    for strategy in strategies:
-        results[strategy] = run_experiment(
-            ExperimentConfig(
-                strategy=strategy,
-                params=params,
-                duration=duration,
-                seed=seed,
-                commutative=commutative,
+    for run in outcome.outcomes:
+        if not run.ok:
+            raise RuntimeError(
+                f"strategy comparison run failed: {run.spec.label()}: "
+                f"{run.error}"
             )
-        )
+        results[run.spec.config.strategy] = run.to_result()
     return results
 
 

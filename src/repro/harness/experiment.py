@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Type
 
 from repro.analytic.parameters import ModelParameters
 from repro.core.acceptance import (
@@ -26,13 +26,18 @@ from repro.workload.mobile_cycle import MobileCycleDriver
 from repro.workload.profiles import uniform_update_profile
 from repro.workload.schedule import DisconnectScheduler
 
-STRATEGIES = (
-    "eager-group",
-    "eager-master",
-    "lazy-group",
-    "lazy-master",
-    "two-tier",
-)
+# The single strategy registry: every place that needs "name -> system
+# class" (the CLI, the campaign runner, the verifier) looks here instead of
+# keeping a private map.
+STRATEGY_CLASSES: Dict[str, Type[ReplicatedSystem]] = {
+    "eager-group": EagerGroupSystem,
+    "eager-master": EagerMasterSystem,
+    "lazy-group": LazyGroupSystem,
+    "lazy-master": LazyMasterSystem,
+    "two-tier": TwoTierSystem,
+}
+
+STRATEGIES = tuple(sorted(STRATEGY_CLASSES))
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,18 @@ class ExperimentConfig:
             starts; counters accumulated during warmup are excluded from the
             reported rates, so transients (cold queues, empty lock tables)
             do not bias steady-state measurements.
+        record_history: record every read/write into a
+            :class:`~repro.verify.history.History` so the schedule can be
+            certified afterwards (the result keeps the live system).
+        retry_deadlocks: resubmit deadlock victims until they commit.
+            ``None`` keeps each strategy's own default (two-tier bases
+            retry, everything else surfaces deadlocks as failures).
+        propagate_ops: lazy-group operation shipping override.  ``None``
+            follows ``commutative``; an explicit value decouples the
+            workload semantics from the propagation mode.
+        tracer: optional :class:`~repro.sim.tracing.Tracer` threaded into
+            the system (instrumentation only — excluded from provenance
+            dictionaries and cache keys).
     """
 
     strategy: str
@@ -68,6 +85,10 @@ class ExperimentConfig:
     acceptance: Optional[AcceptanceCriterion] = None
     rule: Optional[ReconciliationRule] = None
     warmup: float = 0.0
+    record_history: bool = False
+    retry_deadlocks: Optional[bool] = None
+    propagate_ops: Optional[bool] = None
+    tracer: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -93,6 +114,11 @@ class ExperimentResult:
     divergence: int
     end_time: float
     extra: Dict[str, Any] = field(default_factory=dict)
+    # The live system, for post-run inspection (history certification,
+    # trace samples).  Dropped when results cross a process boundary.
+    system: Optional[ReplicatedSystem] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def deadlock_rate(self) -> float:
@@ -110,30 +136,34 @@ class ExperimentResult:
 def build_system(config: ExperimentConfig) -> ReplicatedSystem:
     """Construct the configured replication system (without workload)."""
     p = config.params
+    cls = STRATEGY_CLASSES[config.strategy]
     common = dict(
         db_size=p.db_size,
         action_time=p.action_time,
         message_delay=p.message_delay,
         seed=config.seed,
+        record_history=config.record_history,
+        tracer=config.tracer,
     )
-    if config.strategy == "eager-group":
-        return EagerGroupSystem(num_nodes=p.nodes, **common)
-    if config.strategy == "eager-master":
-        return EagerMasterSystem(num_nodes=p.nodes, **common)
+    if config.retry_deadlocks is not None:
+        # only override when asked: two-tier's constructor defaults its
+        # base tier to retrying, the others to surfacing deadlocks
+        common["retry_deadlocks"] = config.retry_deadlocks
     if config.strategy == "lazy-group":
-        return LazyGroupSystem(
+        propagate = (
+            config.commutative
+            if config.propagate_ops is None
+            else config.propagate_ops
+        )
+        return cls(
             num_nodes=p.nodes,
             rule=config.rule,
-            propagate_ops=config.commutative,
+            propagate_ops=propagate,
             **common,
         )
-    if config.strategy == "lazy-master":
-        return LazyMasterSystem(num_nodes=p.nodes, **common)
     if config.strategy == "two-tier":
-        return TwoTierSystem(
-            num_base=config.num_base, num_mobile=p.nodes, **common
-        )
-    raise ConfigurationError(f"unknown strategy {config.strategy!r}")
+        return cls(num_base=config.num_base, num_mobile=p.nodes, **common)
+    return cls(num_nodes=p.nodes, **common)
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -227,4 +257,5 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 else None
             )
         },
+        system=system,
     )

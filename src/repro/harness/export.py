@@ -26,6 +26,9 @@ def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
         "commutative": config.commutative,
         "num_base": config.num_base,
         "warmup": config.warmup,
+        "record_history": config.record_history,
+        "retry_deadlocks": config.retry_deadlocks,
+        "propagate_ops": config.propagate_ops,
         "acceptance": getattr(config.acceptance, "name", None),
         "rule": getattr(config.rule, "name", None),
         "params": {
@@ -88,15 +91,100 @@ def comparison_to_dict(rows: Sequence[ComparisonRow], x_label: str,
     }
 
 
+def campaign_to_dict(outcome) -> Dict[str, Any]:
+    """A whole :class:`~repro.harness.campaign.CampaignResult`.
+
+    Every run's provenance (config + status + cache origin) plus the
+    per-cell aggregates and fit exponents, one JSON document.
+    """
+    cells = outcome.aggregate()
+    return {
+        "summary": {
+            "runs": outcome.total,
+            "ok": outcome.ok_count,
+            "failed": outcome.total - outcome.ok_count,
+            "cache_hits": outcome.cache_hits,
+            "elapsed_seconds": outcome.elapsed,
+            "jobs": outcome.jobs,
+        },
+        "runs": [
+            {
+                "config": config_to_dict(o.spec.config),
+                "status": o.status,
+                "cached": o.cached,
+                "error": o.error or None,
+                "rates": o.rates() or None,
+            }
+            for o in outcome.outcomes
+        ],
+        "cells": [
+            {
+                "strategy": cell.strategy,
+                "axis": cell.axis,
+                "value": cell.value,
+                "n": cell.n,
+                "failures": cell.failures,
+                "analytic": cell.analytic,
+                "reference_rate": cell.reference_rate,
+                "rates": {
+                    name: {
+                        "mean": est.mean,
+                        "std": est.std,
+                        "ci95_half_width": est.ci95_half_width,
+                        "samples": list(est.samples),
+                    }
+                    for name, est in cell.rates.items()
+                },
+            }
+            for cell in cells
+        ],
+        "fits": [
+            {
+                "strategy": fit.strategy,
+                "rate": fit.rate,
+                "measured_exponent": fit.measured,
+                "analytic_exponent": fit.analytic,
+            }
+            for fit in outcome.fits()
+        ],
+    }
+
+
+def write_campaign_csv(outcome, path: Union[str, Path]) -> Path:
+    """Flatten a campaign's cell aggregates to CSV (one row per rate)."""
+    import csv
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "strategy", "axis", "value", "rate", "n", "mean", "std",
+            "ci95_half_width", "analytic",
+        ])
+        for cell in outcome.aggregate():
+            for name, est in sorted(cell.rates.items()):
+                writer.writerow([
+                    cell.strategy, cell.axis, cell.value, name, cell.n,
+                    est.mean, est.std, est.ci95_half_width,
+                    cell.analytic if name == cell.reference_rate else "",
+                ])
+    return target
+
+
 Exportable = Union[ExperimentResult, SeedStats, Dict[str, Any]]
 
 
 def to_dict(obj: Exportable) -> Dict[str, Any]:
     """Dispatch helper for the supported result types."""
+    from repro.harness.campaign import CampaignResult
+
     if isinstance(obj, ExperimentResult):
         return result_to_dict(obj)
     if isinstance(obj, SeedStats):
         return stats_to_dict(obj)
+    if isinstance(obj, CampaignResult):
+        return campaign_to_dict(obj)
     if isinstance(obj, dict):
         return obj
     raise TypeError(f"cannot export {type(obj).__name__}")

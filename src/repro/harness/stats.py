@@ -13,7 +13,7 @@ the common sample sizes otherwise, so the module works in minimal installs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence
 
 from repro.exceptions import ConfigurationError
@@ -116,18 +116,7 @@ def repeat_experiment(config: ExperimentConfig,
         raise ConfigurationError("seeds must be distinct")
     per_rate: Dict[str, List[float]] = {}
     for seed in seeds:
-        run_config = ExperimentConfig(
-            strategy=config.strategy,
-            params=config.params,
-            duration=config.duration,
-            seed=seed,
-            commutative=config.commutative,
-            num_base=config.num_base,
-            acceptance=config.acceptance,
-            rule=config.rule,
-            warmup=config.warmup,
-        )
-        result = run_experiment(run_config)
+        result = run_experiment(replace(config, seed=seed))
         for name, value in result.rates.as_dict().items():
             if name == "horizon":
                 continue

@@ -49,6 +49,16 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
     return "\n".join(lines)
 
 
+def format_mean_ci(mean: float, half_width: float) -> str:
+    """Render ``mean ± half-width`` with the table's number formatting.
+
+    A zero half-width (single sample) renders as the bare mean.
+    """
+    if half_width:
+        return f"{_fmt(mean)} ± {_fmt(half_width)}"
+    return _fmt(mean)
+
+
 def format_series(
     xs: Sequence[float],
     ys: Sequence[float],

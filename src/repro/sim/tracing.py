@@ -16,8 +16,9 @@ Example::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Set
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set
 
 
 @dataclass(frozen=True)
@@ -58,7 +59,9 @@ class Tracer:
         )
         self.echo = echo
         self.limit = limit
-        self._events: List[TraceEvent] = []
+        # deque(maxlen=...) evicts the oldest event in O(1); a plain list's
+        # pop(0) is O(n) per event once the buffer is full
+        self._events: Deque[TraceEvent] = deque(maxlen=limit)
         self.dropped = 0
 
     def wants(self, category: str) -> bool:
@@ -69,8 +72,7 @@ class Tracer:
         if not self.wants(category):
             return
         event = TraceEvent(time=time, category=category, detail=detail)
-        if len(self._events) >= self.limit:
-            self._events.pop(0)
+        if len(self._events) == self.limit:
             self.dropped += 1
         self._events.append(event)
         if self.echo:

@@ -119,3 +119,119 @@ def test_parser_rejects_unknown_strategy():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_message_delay_help_names_both_paths():
+    # the help string documents that the simulator honours the flag and
+    # the analytic model ignores it
+    subparsers = build_parser()._subparsers._group_actions[0]
+    for command in ("simulate", "danger", "sweep"):
+        actions = [a for a in subparsers.choices[command]._actions
+                   if "--message-delay" in a.option_strings]
+        assert actions, command
+        assert "simulator honours" in actions[0].help
+        assert "analytic model ignores" in actions[0].help
+
+
+SWEEP_TINY = [
+    "--db-size", "50", "--tps", "2", "--actions", "2",
+    "--action-time", "0.001", "--duration", "5", "--seeds", "2",
+]
+
+
+def test_sweep_command_inline(capsys):
+    assert main([
+        "sweep", "--strategy", "lazy-group", "--nodes", "1,2",
+        "--jobs", "0", "--no-cache", *SWEEP_TINY,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "campaign: lazy-group" in out
+    assert "measured (±95% CI)" in out
+    assert "fit exponents" in out
+    assert "analytic N^" in out
+    assert "cache: 0/4 hits" in out
+
+
+def test_sweep_command_parallel_multi_strategy(capsys):
+    assert main([
+        "sweep", "--strategy", "lazy-group,lazy-master", "--nodes", "1,2",
+        "--jobs", "2", "--no-cache", *SWEEP_TINY,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "lazy-group" in out and "lazy-master" in out
+    assert "8 runs (8 ok, 0 failed)" in out
+
+
+def test_sweep_cache_hits_on_identical_rerun(tmp_path, capsys):
+    argv = [
+        "sweep", "--strategy", "lazy-master", "--nodes", "1,2",
+        "--jobs", "0", "--cache-dir", str(tmp_path / "cache"), *SWEEP_TINY,
+    ]
+    assert main(argv) == 0
+    assert "cache: 0/4 hits" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "cache: 4/4 hits" in capsys.readouterr().out
+
+
+def test_sweep_exports_json_and_csv(tmp_path, capsys):
+    import json
+
+    json_path = tmp_path / "campaign.json"
+    csv_path = tmp_path / "campaign.csv"
+    assert main([
+        "sweep", "--strategy", "lazy-master", "--nodes", "1,2",
+        "--jobs", "0", "--no-cache", "--json", str(json_path),
+        "--csv", str(csv_path), *SWEEP_TINY,
+    ]) == 0
+    data = json.loads(json_path.read_text())
+    assert data["summary"]["runs"] == 4
+    assert data["cells"][0]["strategy"] == "lazy-master"
+    assert csv_path.read_text().startswith("strategy,axis,value,rate")
+
+
+def test_sweep_rejects_bad_nodes_list():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--strategy", "lazy-group", "--nodes", "1,two",
+              "--jobs", "0", "--no-cache"])
+
+
+def test_sweep_rejects_unknown_strategy():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--strategy", "psychic", "--nodes", "1,2",
+              "--jobs", "0", "--no-cache"])
+
+
+def test_sweep_strategy_all(capsys):
+    assert main([
+        "sweep", "--strategy", "all", "--nodes", "2", "--jobs", "0",
+        "--no-cache", "--db-size", "50", "--tps", "2", "--actions", "2",
+        "--action-time", "0.001", "--duration", "5", "--seeds", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    for name in ["eager-group", "eager-master", "lazy-group",
+                 "lazy-master", "two-tier"]:
+        assert name in out
+
+
+def test_danger_measure_adds_simulated_points(capsys):
+    assert main([
+        "danger", "--nodes", "2", "--db-size", "60", "--tps", "2",
+        "--actions", "2", "--action-time", "0.001", "--measure",
+        "--seeds", "2", "--jobs", "0", "--duration", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "eq 12" in out  # analytic curves still printed
+    assert "measured danger rates" in out
+    assert "sim/model" in out
+
+
+def test_compare_with_jobs_matches_inline(capsys):
+    argv = [
+        "compare", "--nodes", "2", "--db-size", "60", "--tps", "2",
+        "--actions", "2", "--action-time", "0.001", "--duration", "10",
+    ]
+    assert main(argv) == 0
+    inline = capsys.readouterr().out
+    assert main([*argv, "--jobs", "2"]) == 0
+    pooled = capsys.readouterr().out
+    assert pooled == inline
