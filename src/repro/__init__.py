@@ -49,6 +49,13 @@ from repro.core import (
     TwoTierSystem,
     WithinTolerance,
 )
+from repro.faults import (
+    Crash,
+    FaultInjector,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
 from repro.harness import (
     ExperimentConfig,
     repeat_experiment,
@@ -89,6 +96,12 @@ __all__ = [
     "ExperimentConfig",
     "run_experiment",
     "repeat_experiment",
+    # fault injection
+    "FaultPlan",
+    "LinkFaults",
+    "Partition",
+    "Crash",
+    "FaultInjector",
     # operations
     "Operation",
     "ReadOp",

@@ -174,6 +174,34 @@ def _print_measured_danger(args: argparse.Namespace, params: ModelParameters,
     print(f"\n{outcome.describe()}")
 
 
+def _fault_plan(args: argparse.Namespace, params: ModelParameters):
+    """Materialise the --faults spec for the configured topology."""
+    if not getattr(args, "faults", None):
+        return None
+    from repro.faults.plan import FaultPlan
+
+    num_nodes = params.nodes
+    if getattr(args, "strategy", None) == "two-tier":
+        num_nodes += 1  # the default single base node
+    return FaultPlan.from_spec(
+        args.faults,
+        num_nodes=num_nodes,
+        duration=args.duration,
+        fault_seed=args.fault_seed,
+    )
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault spec, comma-separated key=value pairs: "
+                        "drop/dup/reorder (probabilities), jitter (max "
+                        "extra seconds), partition=<sec|forever>, "
+                        "crash=<sec|forever> (e.g. drop=0.05,partition=2)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="fault randomness stream selector; workload "
+                        "streams are unaffected")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     params = _params(args)
     tracer = None
@@ -189,6 +217,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             duration=args.duration,
             seed=args.seed,
             commutative=args.commutative,
+            faults=_fault_plan(args, params),
             tracer=tracer,
         )
     )
@@ -204,6 +233,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         title="raw counters",
     ))
     print(f"\ndivergence after drain: {result.divergence}")
+    if result.extra.get("fault_stats"):
+        print(format_table(
+            ["fault", "count"],
+            sorted((k, v) for k, v in result.extra["fault_stats"].items()),
+            title="injected faults",
+        ))
+    oracle_ok = result.extra.get("oracle_ok")
+    if oracle_ok is not None:
+        verdict = "ok" if oracle_ok else "FAIL"
+        print(f"invariant oracle: {verdict}")
+        for failure in result.extra.get("oracle_failures") or ():
+            print(f"  - {failure}")
     if args.json:
         from repro.harness.export import write_json
 
@@ -314,6 +355,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         duration=args.duration,
         commutative=args.commutative,
         warmup=args.warmup,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
     cache_dir = None if args.no_cache else args.cache_dir
     outcome = run_campaign(
@@ -398,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
                        "categories or 'all' (e.g. --trace deadlock,commit)")
     p_sim.add_argument("--json", default=None, metavar="PATH",
                        help="also write the result as JSON to PATH")
+    _add_fault_arguments(p_sim)
     p_sim.set_defaults(fn=cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="run every strategy, one table",
@@ -445,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "fits) as JSON")
     p_sweep.add_argument("--csv", default=None, metavar="PATH",
                          help="write per-cell rate aggregates as CSV")
+    _add_fault_arguments(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_verify = sub.add_parser(

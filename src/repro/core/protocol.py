@@ -214,10 +214,17 @@ class TwoTierSystem(LazyMasterSystem):
                         involved.append(master)
                     yield from master.tm.execute(txn, op)
                     self.metrics.actions += 1
-            except DeadlockAbort:
-                txn.mark_aborted(self.engine.now, reason="deadlock")
+            except DeadlockAbort as exc:
+                txn.mark_aborted(self.engine.now, reason=exc.reason)
                 for node in involved:
                     node.tm.finish_abort_local(txn)
+                if exc.reason != "deadlock":
+                    # the host base crashed mid-reprocessing: resubmitting
+                    # at a dead node would livelock, so reject instead
+                    record.status = TentativeStatus.REJECTED
+                    record.diagnostic = "host base crashed during reprocessing"
+                    self.metrics.tentative_rejected += 1
+                    return
                 attempts += 1
                 if attempts > self.max_retries:
                     # pathological livelock guard; surfaces as a rejection
@@ -291,8 +298,8 @@ class TwoTierSystem(LazyMasterSystem):
         txn = node.tm.begin(label=label)
         try:
             yield from self._execute_local(node, txn, ops)
-        except DeadlockAbort:
-            self._abort_everywhere(txn, [node], reason="deadlock")
+        except DeadlockAbort as exc:
+            self._abort_everywhere(txn, [node], reason=exc.reason)
             return txn
         self._commit_everywhere(txn, [node])
         self._propagate_to_slaves(mobile_id, txn)

@@ -47,6 +47,19 @@ class DeadlockAbort(TransactionAborted):
         super().__init__(message, reason="deadlock")
 
 
+class CrashAbort(DeadlockAbort):
+    """The transaction's node crashed while the transaction was in flight.
+
+    Subclasses :class:`DeadlockAbort` so every strategy's existing abort
+    path — catch, WAL undo, release locks — handles a crash without new
+    ``except`` clauses.  The distinct ``reason`` stops the harness's
+    deadlock-retry loop from resubmitting work at a dead node.
+    """
+
+    def __init__(self, message: str = "node crashed"):
+        super(DeadlockAbort, self).__init__(message, reason="crash")
+
+
 class LockError(TransactionError):
     """Invalid lock-manager usage (double release, unknown holder, ...)."""
 

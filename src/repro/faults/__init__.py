@@ -1,0 +1,16 @@
+"""Deterministic fault injection: plans, the injector, and the oracle."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.oracle import OracleVerdict, evaluate
+from repro.faults.plan import FOREVER, Crash, FaultPlan, LinkFaults, Partition
+
+__all__ = [
+    "FOREVER",
+    "Crash",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaults",
+    "OracleVerdict",
+    "Partition",
+    "evaluate",
+]

@@ -75,7 +75,8 @@ FAILED = "failed"
 TIMEOUT = "timeout"
 
 # bump when the result payload schema changes, so stale cache entries miss
-CACHE_VERSION = 1
+# (2: fault plans joined the config hash, extras carry oracle verdicts)
+CACHE_VERSION = 2
 
 # The rate the analytic model predicts for each strategy — the "danger"
 # curve of cmd_danger, used for the measured-vs-model column and the fit
@@ -149,6 +150,13 @@ class Campaign:
         seeds: independent replica seeds per cell.
         duration / commutative / num_base / warmup: forwarded to every
             :class:`ExperimentConfig`.
+        faults: optional fault spec string (``"drop=0.05,partition=2"``,
+            see :meth:`~repro.faults.plan.FaultPlan.from_spec`) applied to
+            every cell; the concrete plan is materialised per cell because
+            partition halves and crash targets depend on the node count.
+        fault_seed: selects the fault randomness stream (workload streams
+            are unaffected — see the seeding contract in
+            :mod:`repro.faults.plan`).
     """
 
     strategies: Tuple[str, ...]
@@ -160,6 +168,8 @@ class Campaign:
     commutative: bool = False
     num_base: int = 1
     warmup: float = 0.0
+    faults: Optional[str] = None
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -190,6 +200,7 @@ class Campaign:
             for value in values:
                 value = int(value) if integral else value
                 params = self.base_params.with_(**{self.axis: value})
+                plan = self._plan_for(strategy, params)
                 for seed in self.seeds:
                     specs.append(
                         RunSpec(
@@ -201,11 +212,29 @@ class Campaign:
                                 commutative=self.commutative,
                                 num_base=self.num_base,
                                 warmup=self.warmup,
+                                faults=plan,
                             ),
                             axis=self.axis,
                         )
                     )
         return specs
+
+    def _plan_for(self, strategy: str, params: ModelParameters):
+        """Materialise the fault spec for one cell's actual topology."""
+        if not self.faults:
+            return None
+        from repro.faults.plan import FaultPlan
+
+        num_nodes = params.nodes
+        if strategy == "two-tier":
+            # network ids cover base tier + mobiles
+            num_nodes += self.num_base
+        return FaultPlan.from_spec(
+            self.faults,
+            num_nodes=num_nodes,
+            duration=self.duration,
+            fault_seed=self.fault_seed,
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -232,6 +261,13 @@ class RunOutcome:
         if not self.ok:
             return {}
         return dict(self.payload["rates"])
+
+    def oracle_ok(self) -> Optional[bool]:
+        """The run's invariant-oracle verdict (None for failed or pre-oracle
+        cached payloads)."""
+        if not self.ok:
+            return None
+        return self.payload.get("extra", {}).get("oracle_ok")
 
     def to_result(self) -> ExperimentResult:
         """Rebuild a full :class:`ExperimentResult` from the payload.
@@ -517,6 +553,9 @@ class CellStats:
     rates: Dict[str, RateEstimate]
     reference_rate: Optional[str]
     analytic: Optional[float]
+    # conjunction of the member runs' invariant-oracle verdicts (None when
+    # no member reported one, e.g. every replica failed outright)
+    oracle_ok: Optional[bool] = None
 
     @property
     def measured(self) -> Optional[float]:
@@ -564,6 +603,8 @@ def aggregate(outcomes: Sequence[RunOutcome]) -> List[CellStats]:
                 samples.setdefault(name, []).append(value)
         reference = ANALYTIC_REFERENCE.get(spec.config.strategy)
         analytic = reference[1](spec.config.params) if reference else None
+        verdicts = [v for v in (o.oracle_ok() for o in members)
+                    if v is not None]
         cells.append(
             CellStats(
                 strategy=spec.config.strategy,
@@ -576,6 +617,7 @@ def aggregate(outcomes: Sequence[RunOutcome]) -> List[CellStats]:
                        for name, values in samples.items()},
                 reference_rate=reference[0] if reference else None,
                 analytic=analytic,
+                oracle_ok=all(verdicts) if verdicts else None,
             )
         )
     return cells
@@ -652,11 +694,14 @@ def campaign_table(cells: Sequence[CellStats], title: str = "") -> str:
                 measured.mean, measured.ci95_half_width),
             "-" if cell.analytic is None else cell.analytic,
             "-" if cell.model_ratio is None else f"{cell.model_ratio:.2f}",
+            "-" if cell.oracle_ok is None else ("ok" if cell.oracle_ok
+                                                else "FAIL"),
         ])
     axis = cells[0].axis if cells else "value"
     return format_table(
         ["strategy", axis, "n", "fail", "commit/s (±95% CI)",
-         "modelled rate", "measured (±95% CI)", "analytic", "sim/model"],
+         "modelled rate", "measured (±95% CI)", "analytic", "sim/model",
+         "oracle"],
         rows,
         title=title,
     )

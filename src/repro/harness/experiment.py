@@ -13,6 +13,9 @@ from repro.core.acceptance import (
 )
 from repro.core.protocol import TwoTierSystem
 from repro.exceptions import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.oracle import evaluate as evaluate_oracle
+from repro.faults.plan import FaultPlan
 from repro.metrics.counters import Metrics
 from repro.metrics.rates import RateSummary, summarize
 from repro.replication.base import ReplicatedSystem
@@ -71,6 +74,12 @@ class ExperimentConfig:
         propagate_ops: lazy-group operation shipping override.  ``None``
             follows ``commutative``; an explicit value decouples the
             workload semantics from the propagation mode.
+        faults: optional :class:`~repro.faults.plan.FaultPlan` executed by a
+            :class:`~repro.faults.injector.FaultInjector` during the run.
+            Fault randomness comes from a forked seed stream, so two
+            configs differing only in ``faults`` offer identical load.
+            Every run (faulted or not) ends with an invariant-oracle pass
+            whose verdict lands in ``result.extra["oracle_ok"]``.
         tracer: optional :class:`~repro.sim.tracing.Tracer` threaded into
             the system (instrumentation only — excluded from provenance
             dictionaries and cache keys).
@@ -88,6 +97,7 @@ class ExperimentConfig:
     record_history: bool = False
     retry_deadlocks: Optional[bool] = None
     propagate_ops: Optional[bool] = None
+    faults: Optional[FaultPlan] = None
     tracer: Optional[Any] = None
 
     def __post_init__(self) -> None:
@@ -178,6 +188,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """
     p = config.params
     system = build_system(config)
+
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None and not config.faults.empty:
+        injector = FaultInjector(system, config.faults).install()
     # Two-tier always uses state-dependent increment operations: a blind
     # write's outputs are state-independent, which would make the strict
     # IdenticalOutputs acceptance test vacuously true.  The ``commutative``
@@ -193,6 +207,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     generation_horizon = config.warmup + config.duration
 
+    driver: Any = None
     if config.strategy == "two-tier":
         acceptance = config.acceptance
         if acceptance is None:
@@ -209,13 +224,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             driver.start(generation_horizon)
         else:
             # connected operation: mobiles submit base transactions directly
-            workload = WorkloadGenerator(
+            driver = WorkloadGenerator(
                 system, profile, tps=p.tps, node_ids=list(system.mobiles)
             )
-            workload.start(generation_horizon)
+            driver.start(generation_horizon)
     else:
-        workload = WorkloadGenerator(system, profile, tps=p.tps)
-        workload.start(generation_horizon)
+        driver = WorkloadGenerator(system, profile, tps=p.tps)
+        driver.start(generation_horizon)
         if p.disconnect_time > 0:
             if config.strategy != "lazy-group":
                 raise ConfigurationError(
@@ -243,6 +258,30 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             steady.bump(name, value - baseline.get(name, 0))
         metrics = steady
 
+    # every run — faulted or not — ends with the invariant-oracle pass, so
+    # campaign cells can report correctness alongside their rates
+    verdict = evaluate_oracle(
+        system,
+        plan=config.faults,
+        expect_serializable=(
+            config.record_history and config.strategy != "lazy-group"
+        ),
+    )
+
+    extra: Dict[str, Any] = {
+        "base_divergence": (
+            system.base_divergence()
+            if isinstance(system, TwoTierSystem)
+            else None
+        ),
+        "oracle_ok": verdict.ok,
+        "oracle_expected_convergence": verdict.expected_convergence,
+        "oracle_failures": verdict.failures or None,
+        "submitted": getattr(driver, "submitted", None),
+    }
+    if injector is not None:
+        extra["fault_stats"] = injector.stats()
+
     return ExperimentResult(
         config=config,
         metrics=metrics,
@@ -250,12 +289,6 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         horizon=config.duration,
         divergence=system.divergence(),
         end_time=system.engine.now,
-        extra={
-            "base_divergence": (
-                system.base_divergence()
-                if isinstance(system, TwoTierSystem)
-                else None
-            )
-        },
+        extra=extra,
         system=system,
     )

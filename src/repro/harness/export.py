@@ -31,6 +31,7 @@ def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
         "propagate_ops": config.propagate_ops,
         "acceptance": getattr(config.acceptance, "name", None),
         "rule": getattr(config.rule, "name", None),
+        "faults": config.faults.to_dict() if config.faults is not None else None,
         "params": {
             "db_size": p.db_size,
             "nodes": p.nodes,
@@ -114,6 +115,7 @@ def campaign_to_dict(outcome) -> Dict[str, Any]:
                 "cached": o.cached,
                 "error": o.error or None,
                 "rates": o.rates() or None,
+                "extra": (o.payload or {}).get("extra") or None,
             }
             for o in outcome.outcomes
         ],
@@ -124,6 +126,7 @@ def campaign_to_dict(outcome) -> Dict[str, Any]:
                 "value": cell.value,
                 "n": cell.n,
                 "failures": cell.failures,
+                "oracle_ok": cell.oracle_ok,
                 "analytic": cell.analytic,
                 "reference_rate": cell.reference_rate,
                 "rates": {

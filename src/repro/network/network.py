@@ -47,6 +47,7 @@ class Network:
         self._unreachable_pairs: Set[Tuple[int, int]] = set()
         self._outbound: Dict[int, Deque[Message]] = {}
         self._inbound: Dict[int, Deque[Message]] = {}
+        self.fault_injector = None  # optional repro.faults.FaultInjector
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_parked = 0
@@ -61,6 +62,18 @@ class Network:
         """Install ``handler`` as the message sink for ``node_id``."""
         self._check_node(node_id)
         self._handlers[node_id] = handler
+
+    def install_fault_injector(self, injector) -> None:
+        """Route every inter-node message through ``injector.route``.
+
+        The injector sees messages about to go on the wire (both endpoints
+        connected and reachable) and decides drops, duplicates, and extra
+        latency.  Self-sends (retry timers) are exempt — they never touch a
+        link.  One injector per network.
+        """
+        if self.fault_injector is not None:
+            raise ConfigurationError("a fault injector is already installed")
+        self.fault_injector = injector
 
     def is_connected(self, node_id: int) -> bool:
         return node_id in self._connected
@@ -81,6 +94,17 @@ class Network:
         if node_id in self._connected:
             return
         self._connected.add(node_id)
+        self.flush_parked(node_id)
+
+    def flush_parked(self, node_id: int) -> None:
+        """Redeliver a connected node's parked traffic (outbound first).
+
+        Inbound messages whose pair is still partitioned stay parked — they
+        flush when that partition heals.  No-op for a disconnected node.
+        """
+        self._check_node(node_id)
+        if node_id not in self._connected:
+            return
         outbound = self._outbound.pop(node_id, None)
         if outbound:
             for msg in outbound:
@@ -88,17 +112,52 @@ class Network:
         inbound = self._inbound.pop(node_id, None)
         if inbound:
             for msg in inbound:
-                self._deliver_after_delay(msg)
+                if self.reachable(msg.src, msg.dst):
+                    self._deliver_after_delay(msg)
+                else:
+                    self._inbound.setdefault(node_id, deque()).append(msg)
 
     def set_reachable(self, a: int, b: int, reachable: bool) -> None:
-        """Partition override for the pair (a, b), symmetric."""
+        """Partition override for the pair (a, b), symmetric and idempotent.
+
+        ``set_reachable(a, b, x)`` and ``set_reachable(b, a, x)`` are the
+        same call: the pair is stored unordered.  Healing (``True``) flushes
+        messages that parked while the pair was cut, mirroring
+        :meth:`reconnect` — convergence after heal depends on it.
+        """
         self._check_node(a)
         self._check_node(b)
+        if a == b:
+            raise ConfigurationError(
+                f"cannot change reachability of node {a} to itself"
+            )
         pair = (min(a, b), max(a, b))
-        if reachable:
-            self._unreachable_pairs.discard(pair)
-        else:
+        if not reachable:
             self._unreachable_pairs.add(pair)
+            return
+        if pair not in self._unreachable_pairs:
+            return
+        self._unreachable_pairs.discard(pair)
+        self._flush_healed(a)
+        self._flush_healed(b)
+
+    def _flush_healed(self, node_id: int) -> None:
+        """Redeliver inbound messages whose pair just became reachable."""
+        if node_id not in self._connected:
+            return
+        queue = self._inbound.get(node_id)
+        if not queue:
+            return
+        flushing = [m for m in queue if self.reachable(m.src, m.dst)]
+        if not flushing:
+            return
+        kept = deque(m for m in queue if not self.reachable(m.src, m.dst))
+        if kept:
+            self._inbound[node_id] = kept
+        else:
+            del self._inbound[node_id]
+        for msg in flushing:
+            self._deliver_after_delay(msg)
 
     def reachable(self, a: int, b: int) -> bool:
         pair = (min(a, b), max(a, b))
@@ -141,7 +200,25 @@ class Network:
             self._inbound.setdefault(msg.dst, deque()).append(msg)
             self.messages_parked += 1
             return
+        if self.fault_injector is not None and msg.src != msg.dst:
+            for fault_msg, extra in self.fault_injector.route(msg):
+                if extra > 0.0:
+                    if fault_msg.deliver_time < self.engine.now:
+                        fault_msg.deliver_time = self.engine.now
+                    fault_msg.deliver_time += extra
+                self._deliver_after_delay(fault_msg)
+            return
         self._deliver_after_delay(msg)
+
+    def park_inbound(self, msg: Message) -> None:
+        """Re-park a delivered message for later redelivery.
+
+        Used when the receiver cannot process traffic yet (a crashed node
+        that a disconnect schedule reconnected); :meth:`flush_parked`
+        redelivers after recovery.
+        """
+        self._inbound.setdefault(msg.dst, deque()).append(msg)
+        self.messages_parked += 1
 
     def _deliver_after_delay(self, msg: Message) -> None:
         delay = max(0.0, msg.deliver_time - self.engine.now)

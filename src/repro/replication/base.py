@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.exceptions import ConfigurationError, DeadlockAbort
+from repro.exceptions import (
+    ConfigurationError,
+    CrashAbort,
+    DeadlockAbort,
+    InvalidStateError,
+)
 from repro.metrics.counters import Metrics
 from repro.network.message import Message
 from repro.network.network import Network
@@ -117,6 +122,11 @@ class ReplicatedSystem:
         self.metrics = Metrics()
         self.rng = RandomSource(seed)
         self.detector = DeadlockDetector(victim_policy=victim_policy)
+        self.crashed: set = set()
+        # per-node live user-transaction processes, insertion-ordered so a
+        # crash interrupts them deterministically (a set of Process objects
+        # would iterate in id() order, which differs run to run)
+        self._live_processes: Dict[int, Dict[Process, None]] = {}
         self.network = Network(self.engine, num_nodes, message_delay=message_delay)
         self.nodes: List[NodeContext] = [
             self._make_node(i, db_size, action_time, lock_reads, initial_value)
@@ -164,6 +174,12 @@ class ReplicatedSystem:
 
     def _make_handler(self, node: NodeContext):
         def handler(msg: Message):
+            if node.node_id in self.crashed:
+                # a disconnect schedule reconnected a crashed node: it
+                # cannot process traffic yet, so re-park for redelivery at
+                # recovery (no resend — parking schedules nothing)
+                self.network.park_inbound(msg)
+                return None
             self.metrics.messages += 1
             return self.handle_message(node, msg)
 
@@ -194,11 +210,35 @@ class ReplicatedSystem:
 
         Returns the process running the transaction's full lifecycle; its
         value is the final :class:`Transaction` object.
+
+        Submitting at a crashed node fails fast: the transaction is born
+        aborted with reason ``"node-down"`` (counted separately from
+        deadlock/acceptance aborts, which measure contention).
         """
-        return self.engine.process(
+        if origin in self.crashed:
+            return self.engine.process(
+                self._reject_at_crashed_node(origin, label),
+                name=f"{self.name}-rejected@{origin}",
+            )
+        proc = self.engine.process(
             self._run_with_retries(origin, list(ops), label),
             name=f"{self.name}-txn@{origin}",
         )
+        self._track_live(origin, proc)
+        return proc
+
+    def _track_live(self, origin: int, proc: Process) -> None:
+        table = self._live_processes.setdefault(origin, {})
+        table[proc] = None
+        proc.add_callback(lambda _event: table.pop(proc, None))
+
+    def _reject_at_crashed_node(self, origin: int, label: str):
+        txn = self.nodes[origin].tm.begin(label=label)
+        txn.mark_aborted(self.engine.now, reason="node-down")
+        self.metrics.bump("rejected_node_down")
+        self._trace("abort", txn=txn.txn_id, reason="node-down")
+        return txn
+        yield  # pragma: no cover - marks this function as a generator
 
     def _run_with_retries(self, origin: int, ops: List[Operation], label: str):
         attempts = 0
@@ -207,6 +247,9 @@ class ReplicatedSystem:
             if txn.state.value != "aborted" or not self.retry_deadlocks:
                 return txn
             if txn.abort_reason != "deadlock":
+                return txn
+            if origin in self.crashed:
+                # never resubmit at a node that went down mid-flight
                 return txn
             attempts += 1
             if attempts > self.max_retries:
@@ -258,6 +301,53 @@ class ReplicatedSystem:
         if self.history is not None:
             self.history.mark_committed(txn.txn_id)
         self._trace("commit", txn=txn.txn_id, origin=txn.origin_node)
+
+    # ------------------------------------------------------------------ #
+    # crash & recovery (fault injection)
+    # ------------------------------------------------------------------ #
+
+    def crash_node(self, node_id: int) -> int:
+        """Fail-stop ``node_id``: discard in-flight work, go dark.
+
+        In-flight user transactions rooted at the node are interrupted with
+        :class:`CrashAbort`, which each strategy's abort path turns into a
+        WAL undo; whatever those interrupts cannot reach (a process that is
+        runnable at this very instant) is rolled back by the WAL's own
+        crash pass, and the crashed log refuses further writes.  Messages
+        to and from the node park in its store-and-forward queues.  Returns
+        the number of writes the crash discarded.
+        """
+        node = self.nodes[node_id]
+        if node_id in self.crashed:
+            raise InvalidStateError(f"node {node_id} is already crashed")
+        self.crashed.add(node_id)
+        self.network.disconnect(node_id)
+        interrupted = 0
+        for proc in list(self._live_processes.get(node_id, {})):
+            if proc.kill(CrashAbort(f"node {node_id} crashed")):
+                interrupted += 1
+        lost_writes = node.wal.crash(node.store)
+        self.metrics.bump("crashes")
+        self._trace("crash", node=node_id, interrupted=interrupted,
+                    undone=lost_writes)
+        return lost_writes
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a crashed node back and replay its parked queues."""
+        node = self.nodes[node_id]
+        if node_id not in self.crashed:
+            raise InvalidStateError(f"node {node_id} is not crashed")
+        node.wal.begin_recovery()
+        node.wal.complete_recovery()
+        self.crashed.discard(node_id)
+        self.metrics.bump("recoveries")
+        self._trace("recover", node=node_id)
+        if self.network.is_connected(node_id):
+            # a disconnect schedule reconnected the node while it was down;
+            # its parked traffic still needs the replay
+            self.network.flush_parked(node_id)
+        else:
+            self.network.reconnect(node_id)
 
     # ------------------------------------------------------------------ #
     # observation

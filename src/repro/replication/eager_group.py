@@ -80,8 +80,8 @@ class EagerGroupSystem(ReplicatedSystem):
                     for node in participants:
                         yield from node.tm.execute(txn, op)
                         self.metrics.actions += 1
-        except DeadlockAbort:
-            self._abort_everywhere(txn, touched, reason="deadlock")
+        except DeadlockAbort as exc:
+            self._abort_everywhere(txn, touched, reason=exc.reason)
             return txn
         self._commit_everywhere(txn, touched)
         self._send_catchup(origin, txn, participants)
@@ -183,7 +183,7 @@ class EagerGroupSystem(ReplicatedSystem):
                 self.metrics.actions += 1
             node.tm.commit(txn)
             self.metrics.replica_updates += 1
-        except DeadlockAbort:
-            node.tm.abort(txn, reason="deadlock")
+        except DeadlockAbort as exc:
+            node.tm.abort(txn, reason=exc.reason)
             # housekeeping transactions restart transparently
             self.network.send(node.node_id, node.node_id, "catchup", updates)

@@ -92,8 +92,8 @@ class EagerMasterSystem(ReplicatedSystem):
                         touched.append(node)
                     yield from node.tm.execute(txn, op)
                     self.metrics.actions += 1
-        except DeadlockAbort:
-            self._abort_everywhere(txn, touched, reason="deadlock")
+        except DeadlockAbort as exc:
+            self._abort_everywhere(txn, touched, reason=exc.reason)
             return txn
         self._commit_everywhere(txn, touched)
         return txn

@@ -59,9 +59,9 @@ class LazyGroupSystem(ReplicatedSystem):
         txn = node.tm.begin(label=label)
         try:
             yield from self._execute_local(node, txn, ops)
-        except DeadlockAbort:
+        except DeadlockAbort as exc:
             node.tm.finish_abort_local(txn)
-            txn.mark_aborted(self.engine.now, reason="deadlock")
+            txn.mark_aborted(self.engine.now, reason=exc.reason)
             self.metrics.aborts += 1
             return txn
         txn.mark_committed(self.engine.now)
@@ -150,8 +150,8 @@ class LazyGroupSystem(ReplicatedSystem):
                         )
             node.tm.commit(txn)
             self.metrics.replica_updates += 1
-        except DeadlockAbort:
-            node.tm.abort(txn, reason="deadlock")
+        except DeadlockAbort as exc:
+            node.tm.abort(txn, reason=exc.reason)
             if attempt < self.max_retries:
                 self.metrics.restarts += 1
                 self.network.send(

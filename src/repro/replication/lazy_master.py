@@ -112,8 +112,8 @@ class LazyMasterSystem(ReplicatedSystem):
                     involved.append(master)
                 yield from master.tm.execute(txn, op)
                 self.metrics.actions += 1
-        except DeadlockAbort:
-            self._abort_everywhere(txn, involved, reason="deadlock")
+        except DeadlockAbort as exc:
+            self._abort_everywhere(txn, involved, reason=exc.reason)
             return txn
         self._commit_everywhere(txn, involved)
         self._propagate_to_slaves(origin, txn)
@@ -205,8 +205,8 @@ class LazyMasterSystem(ReplicatedSystem):
                 self.metrics.actions += 1
             node.tm.commit(txn)
             self.metrics.replica_updates += 1
-        except DeadlockAbort:
-            node.tm.abort(txn, reason="deadlock")
+        except DeadlockAbort as exc:
+            node.tm.abort(txn, reason=exc.reason)
             if attempt < self.max_retries:
                 self.metrics.restarts += 1
                 self.network.send(

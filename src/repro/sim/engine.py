@@ -61,6 +61,14 @@ class Engine:
         """Run ``callback(*args)`` at the current instant, after queued peers."""
         self.schedule(0.0, callback, *args)
 
+    def schedule_at(self, at: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute virtual time ``at``.
+
+        Convenience for timetable-style schedules (fault plans, partitions)
+        whose events are specified as absolute instants.
+        """
+        self.schedule(at - self.now, callback, *args)
+
     def timeout(self, delay: float) -> Timeout:
         """Create a :class:`Timeout` for ``delay`` time units."""
         return Timeout(delay)

@@ -67,5 +67,20 @@ class Process(SimEvent):
             target.abandoned = True  # dead timer: engine drops its entry
         self.engine.schedule_now(self.engine._step, self, None, exception)
 
+    def kill(self, exception: Optional[BaseException] = None) -> bool:
+        """Best-effort :meth:`interrupt` for fault injection.
+
+        Throws ``exception`` into the process if it is parked on an event
+        and reports True.  A settled process, or one that is currently
+        runnable (queued to step at this instant, e.g. freshly spawned), is
+        left alone and False is returned — runnable processes must be
+        stopped by data-level guards (a crashed WAL refusing writes) rather
+        than by rewriting the engine's queue.
+        """
+        if self.settled or self.waiting_on is None:
+            return False
+        self.interrupt(exception)
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Process {self.name!r} {self.state.value}>"

@@ -46,6 +46,7 @@ class Tracer:
     KNOWN_CATEGORIES = (
         "begin", "commit", "abort", "wait", "deadlock", "reconcile",
         "stale", "replica", "message", "tentative", "reject", "reconnect",
+        "fault", "partition", "crash", "recover",
     )
 
     def __init__(

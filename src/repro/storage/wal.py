@@ -4,6 +4,14 @@ The simulator keeps all state in memory, so the log's purpose here is
 *atomicity*, not durability: when a transaction aborts (deadlock victim or
 acceptance failure) its writes are rolled back in reverse order, restoring
 both value and timestamp.  Commit simply forgets the transaction's entries.
+
+The log also models *node crashes* for fault injection: :meth:`crash`
+discards every in-flight transaction's effects (reverse global-order undo,
+as a real recovery manager's rollback pass would), after which the log
+refuses new writes until :meth:`begin_recovery` / :meth:`complete_recovery`
+bring the node back.  A write attempted while the node is down raises
+:class:`~repro.exceptions.CrashAbort`, which flows into each strategy's
+normal abort path.
 """
 
 from __future__ import annotations
@@ -11,9 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List
 
-from repro.exceptions import InvalidStateError
+from repro.exceptions import CrashAbort, InvalidStateError
 from repro.storage.store import ObjectStore
 from repro.storage.versioning import Timestamp
+
+# log lifecycle states
+ACTIVE = "active"
+CRASHED = "crashed"
+RECOVERING = "recovering"
 
 
 @dataclass(frozen=True)
@@ -26,6 +39,7 @@ class LogEntry:
     before_ts: Timestamp
     after_value: Any
     after_ts: Timestamp
+    seq: int = -1  # global append order, for cross-transaction undo
 
 
 class WriteAheadLog:
@@ -42,6 +56,11 @@ class WriteAheadLog:
     def __init__(self) -> None:
         self._by_txn: Dict[int, List[LogEntry]] = {}
         self.total_entries = 0
+        self.state = ACTIVE
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == ACTIVE
 
     def record(
         self,
@@ -53,6 +72,8 @@ class WriteAheadLog:
         after_ts: Timestamp,
     ) -> LogEntry:
         """Append a before/after image for ``txn_id``'s write to ``oid``."""
+        if self.state != ACTIVE:
+            raise CrashAbort(f"write lost: node log is {self.state}")
         entry = LogEntry(
             txn_id=txn_id,
             oid=oid,
@@ -60,6 +81,7 @@ class WriteAheadLog:
             before_ts=before_ts,
             after_value=after_value,
             after_ts=after_ts,
+            seq=self.total_entries,
         )
         self._by_txn.setdefault(txn_id, []).append(entry)
         self.total_entries += 1
@@ -78,6 +100,49 @@ class WriteAheadLog:
     def forget(self, txn_id: int) -> int:
         """Discard entries at commit.  Returns how many were dropped."""
         return len(self._by_txn.pop(txn_id, []))
+
+    # ------------------------------------------------------------------ #
+    # crash & recovery
+    # ------------------------------------------------------------------ #
+
+    def crash(self, store: ObjectStore) -> int:
+        """The node fails: roll back every in-flight transaction.
+
+        All pending entries are undone in reverse *global* append order
+        (later writes first, across transactions), restoring each object's
+        value and timestamp; the log then refuses new writes until recovery
+        completes.  Returns the number of writes discarded.
+        """
+        if self.state == CRASHED:
+            raise InvalidStateError("double crash: node is already down")
+        if self.state == RECOVERING:
+            raise InvalidStateError("crash during recovery is not modelled")
+        pending = sorted(
+            (entry for entries in self._by_txn.values() for entry in entries),
+            key=lambda entry: entry.seq,
+            reverse=True,
+        )
+        for entry in pending:
+            store.restore(entry.oid, entry.before_value, entry.before_ts)
+        self._by_txn.clear()
+        self.state = CRASHED
+        return len(pending)
+
+    def begin_recovery(self) -> None:
+        """Start bringing a crashed node back (only valid while crashed)."""
+        if self.state != CRASHED:
+            raise InvalidStateError(
+                f"cannot recover a node whose log is {self.state}"
+            )
+        self.state = RECOVERING
+
+    def complete_recovery(self) -> None:
+        """Finish recovery: the log accepts writes again."""
+        if self.state != RECOVERING:
+            raise InvalidStateError(
+                f"complete_recovery without begin_recovery (state {self.state})"
+            )
+        self.state = ACTIVE
 
     def entries_for(self, txn_id: int) -> List[LogEntry]:
         """The in-flight entries of ``txn_id`` (oldest first)."""

@@ -100,13 +100,30 @@ def test_partition_parks_messages():
     net.send(0, 1, "ping", "blocked")
     engine.run()
     assert inboxes[1] == []
-    # healing the partition alone doesn't deliver (messages wait on the
-    # receiver's queue until its next reconnect event)
+    assert net.parked_inbound(1) == 1
+    # healing the partition flushes the parked traffic, mirroring reconnect
+    # — convergence after heal depends on it
     net.set_reachable(0, 1, True)
-    net.disconnect(1)
-    net.reconnect(1)
     engine.run()
     assert [m.payload for m in inboxes[1]] == ["blocked"]
+    assert net.parked_inbound(1) == 0
+
+
+def test_partition_heal_keeps_other_pairs_parked():
+    engine, net, inboxes = make_net()
+    net.set_reachable(0, 1, False)
+    net.set_reachable(2, 1, False)
+    net.send(0, 1, "ping", "from-0")
+    net.send(2, 1, "ping", "from-2")
+    engine.run()
+    net.set_reachable(0, 1, True)
+    engine.run()
+    # only the healed pair's message flushed; (1, 2) stays cut
+    assert [m.payload for m in inboxes[1]] == ["from-0"]
+    assert net.parked_inbound(1) == 1
+    net.set_reachable(1, 2, True)
+    engine.run()
+    assert [m.payload for m in inboxes[1]] == ["from-0", "from-2"]
 
 
 def test_reachability_is_symmetric():
@@ -114,6 +131,33 @@ def test_reachability_is_symmetric():
     net.set_reachable(2, 0, False)
     assert not net.reachable(0, 2)
     assert not net.reachable(2, 0)
+
+
+def test_set_reachable_argument_order_is_irrelevant():
+    # the footgun: cutting (a, b) then healing (b, a) must agree
+    engine, net, inboxes = make_net()
+    net.set_reachable(0, 1, False)
+    net.set_reachable(1, 0, True)
+    net.send(0, 1, "ping", "ok")
+    engine.run()
+    assert [m.payload for m in inboxes[1]] == ["ok"]
+
+
+def test_set_reachable_is_idempotent():
+    engine, net, inboxes = make_net()
+    net.set_reachable(0, 1, False)
+    net.set_reachable(1, 0, False)  # duplicate cut, either order
+    net.send(0, 1, "ping", "late")
+    net.set_reachable(0, 1, True)
+    net.set_reachable(0, 1, True)  # duplicate heal is a no-op
+    engine.run()
+    assert [m.payload for m in inboxes[1]] == ["late"]
+
+
+def test_set_reachable_self_pair_rejected():
+    engine, net, _ = make_net()
+    with pytest.raises(ConfigurationError):
+        net.set_reachable(1, 1, False)
 
 
 def test_generator_handler_runs_as_process():

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.exceptions import InvalidStateError
+from repro.exceptions import CrashAbort, InvalidStateError
 from repro.storage.store import ObjectStore
 from repro.storage.versioning import Timestamp
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import ACTIVE, CRASHED, RECOVERING, WriteAheadLog
 
 
 @pytest.fixture()
@@ -84,3 +84,84 @@ def test_assert_quiescent(store):
         wal.assert_quiescent()
     wal.forget(1)
     wal.assert_quiescent()
+
+
+# --------------------------------------------------------------------- #
+# crash & recovery
+# --------------------------------------------------------------------- #
+
+
+def test_crash_rolls_back_in_flight_transaction(store):
+    wal = WriteAheadLog()
+    wal.record(1, 0, 0, Timestamp.ZERO, 5, Timestamp(1, 0))
+    store.write(0, 5, Timestamp(1, 0))
+    undone = wal.crash(store)
+    assert undone == 1
+    assert store.value(0) == 0
+    assert store.timestamp(0) == Timestamp.ZERO
+    assert wal.pending_transactions() == 0
+    assert wal.state == CRASHED
+
+
+def test_crash_undoes_across_transactions_in_reverse_global_order(store):
+    wal = WriteAheadLog()
+    # txn 1 then txn 2 both write object 0: 0 -> 5 -> 9; reverse global
+    # order must restore 9 -> 5 -> 0, ending at the original image
+    wal.record(1, 0, 0, Timestamp.ZERO, 5, Timestamp(1, 0))
+    store.write(0, 5, Timestamp(1, 0))
+    wal.record(2, 0, 5, Timestamp(1, 0), 9, Timestamp(2, 1))
+    store.write(0, 9, Timestamp(2, 1))
+    assert wal.crash(store) == 2
+    assert store.value(0) == 0
+    assert store.timestamp(0) == Timestamp.ZERO
+
+
+def test_record_while_crashed_raises_crash_abort(store):
+    wal = WriteAheadLog()
+    wal.crash(store)
+    with pytest.raises(CrashAbort):
+        wal.record(1, 0, 0, Timestamp.ZERO, 5, Timestamp(1, 0))
+    assert wal.pending_transactions() == 0  # the rejected write left no undo
+
+
+def test_double_crash_rejected(store):
+    wal = WriteAheadLog()
+    wal.crash(store)
+    with pytest.raises(InvalidStateError):
+        wal.crash(store)
+
+
+def test_crash_during_recovery_rejected(store):
+    wal = WriteAheadLog()
+    wal.crash(store)
+    wal.begin_recovery()
+    with pytest.raises(InvalidStateError):
+        wal.crash(store)
+
+
+def test_recovery_lifecycle(store):
+    wal = WriteAheadLog()
+    assert wal.is_active
+    wal.crash(store)
+    with pytest.raises(InvalidStateError):
+        wal.complete_recovery()  # must begin first
+    wal.begin_recovery()
+    assert wal.state == RECOVERING
+    with pytest.raises(InvalidStateError):
+        wal.begin_recovery()  # not crashed any more
+    wal.complete_recovery()
+    assert wal.state == ACTIVE
+    # the log accepts writes again
+    wal.record(3, 1, 0, Timestamp.ZERO, 2, Timestamp(3, 0))
+    assert wal.pending_transactions() == 1
+
+
+def test_begin_recovery_requires_crash(store):
+    wal = WriteAheadLog()
+    with pytest.raises(InvalidStateError):
+        wal.begin_recovery()
+
+
+def test_crash_abort_reason_is_crash():
+    exc = CrashAbort("node 2 crashed")
+    assert exc.reason == "crash"
