@@ -11,6 +11,11 @@ Commands:
 * ``verify`` — record a run's history and certify schedule serializability.
 * ``sweep`` — run a (strategy × nodes × seed) campaign over a worker pool
   and print mean ± 95% CI per cell with measured-vs-model fit exponents.
+* ``trace`` — run one experiment with full tracing and export a
+  Chrome/Perfetto ``trace.json`` (open it at https://ui.perfetto.dev).
+* ``report`` — run one experiment with telemetry sampling and render a
+  markdown run report (counters, oracle verdict, fault timeline,
+  sparkline series).
 
 Examples::
 
@@ -18,6 +23,8 @@ Examples::
     python -m repro simulate --strategy lazy-group --nodes 4 --duration 60
     python -m repro compare --nodes 4 --tps 3 --db-size 60
     python -m repro sweep --strategy lazy-group --nodes 1,2,4,8 --seeds 5 --jobs 4
+    python -m repro trace --strategy lazy-group --nodes 8 --faults partition=5 --out trace.json
+    python -m repro report --strategy two-tier --nodes 4 --out report.md
 """
 
 from __future__ import annotations
@@ -210,6 +217,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
         tracer = Tracer(categories=set(args.trace.split(","))
                         if args.trace != "all" else None)
+    profiler = None
+    if args.profile:
+        from repro.obs.profiler import Profiler
+
+        profiler = Profiler()
     result = run_experiment(
         ExperimentConfig(
             strategy=args.strategy,
@@ -219,6 +231,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             commutative=args.commutative,
             faults=_fault_plan(args, params),
             tracer=tracer,
+            profiler=profiler,
         )
     )
     print(format_table(
@@ -256,6 +269,90 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"{len(sample)} events):")
         for event in sample:
             print("  " + event.format())
+    if args.trace_out:
+        from repro.obs.chrome_trace import write_chrome_trace
+
+        if tracer is None:
+            raise SystemExit("--trace-out needs --trace (e.g. --trace all)")
+        path = write_chrome_trace(tracer, args.trace_out,
+                                  num_nodes=result.system.num_nodes)
+        print(f"chrome trace written to {path} "
+              f"(open at https://ui.perfetto.dev)")
+    if profiler is not None:
+        print()
+        print(profiler.table())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment fully traced and export Chrome/Perfetto JSON."""
+    from repro.obs.chrome_trace import write_chrome_trace
+    from repro.sim.tracing import Tracer
+
+    params = _params(args)
+    categories = (set(args.categories.split(","))
+                  if args.categories != "all" else None)
+    tracer = Tracer(categories=categories, limit=args.limit)
+    result = run_experiment(
+        ExperimentConfig(
+            strategy=args.strategy,
+            params=params,
+            duration=args.duration,
+            seed=args.seed,
+            commutative=args.commutative,
+            faults=_fault_plan(args, params),
+            tracer=tracer,
+        )
+    )
+    path = write_chrome_trace(tracer, args.out,
+                              num_nodes=result.system.num_nodes)
+    print(f"{len(tracer)} trace events ({result.end_time:.1f} virtual "
+          f"seconds) written to {path}")
+    if tracer.dropped:
+        print(f"warning: {tracer.dropped} events dropped by the ring "
+              f"buffer; re-run with a larger --limit", file=sys.stderr)
+    print("open it at https://ui.perfetto.dev (or chrome://tracing): "
+          "one track per node, transactions as slices, "
+          "faults/partitions as instants")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run one experiment with sampling and render a markdown run report."""
+    from repro.obs.report import build_report, write_report
+
+    params = _params(args)
+    interval = args.sample_interval
+    if interval is None:
+        interval = max(args.duration / 50.0, 1e-9)
+    result = run_experiment(
+        ExperimentConfig(
+            strategy=args.strategy,
+            params=params,
+            duration=args.duration,
+            seed=args.seed,
+            commutative=args.commutative,
+            faults=_fault_plan(args, params),
+            sample_interval=interval,
+        )
+    )
+    report = build_report(result)
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"run report written to {path}")
+    else:
+        print(report.to_markdown())
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        target = Path(args.json)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report JSON written to {target}")
     return 0
 
 
@@ -346,6 +443,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     node_values = _parse_node_list(args.nodes)
     args.nodes = node_values[0]  # _params wants a scalar for the base point
     params = _params(args)
+    sample_interval = args.sample_interval
+    if sample_interval is None:
+        # --series-out implies sampling; default to 50 windows per run
+        sample_interval = args.duration / 50.0 if args.series_out else 0.0
     campaign = Campaign(
         strategies=strategies,
         base_params=params,
@@ -357,6 +458,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         faults=args.faults,
         fault_seed=args.fault_seed,
+        sample_interval=sample_interval,
     )
     cache_dir = None if args.no_cache else args.cache_dir
     outcome = run_campaign(
@@ -392,6 +494,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
         path = write_campaign_csv(outcome, args.csv)
         print(f"cell aggregates written to {path}")
+    if args.series_out:
+        from repro.harness.export import write_campaign_series
+
+        written = write_campaign_series(outcome, args.series_out)
+        if written:
+            print(f"{len(written)} per-cell time-series file(s) written "
+                  f"to {args.series_out}")
+        else:
+            print("no time-series to write (cached pre-telemetry payloads? "
+                  "clear the cache or use --no-cache)", file=sys.stderr)
     return 0 if not outcome.failures else 1
 
 
@@ -441,8 +553,57 @@ def build_parser() -> argparse.ArgumentParser:
                        "categories or 'all' (e.g. --trace deadlock,commit)")
     p_sim.add_argument("--json", default=None, metavar="PATH",
                        help="also write the result as JSON to PATH")
+    p_sim.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="export the trace (requires --trace) as "
+                       "Chrome/Perfetto JSON to PATH")
+    p_sim.add_argument("--profile", action="store_true",
+                       help="print the engine dispatch hot-spot table "
+                       "after the run")
     _add_fault_arguments(p_sim)
     p_sim.set_defaults(fn=cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one fully-traced experiment and export Perfetto JSON",
+    )
+    _add_model_arguments(p_trace)
+    p_trace.add_argument("--strategy", choices=STRATEGIES,
+                         default="lazy-group")
+    p_trace.add_argument("--duration", type=float, default=30.0)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--commutative", action="store_true",
+                         help="use commuting increment transactions")
+    p_trace.add_argument("--categories", default="all",
+                         help="comma-separated trace categories to record "
+                         "(default: all)")
+    p_trace.add_argument("--limit", type=int, default=100_000,
+                         help="trace ring-buffer size (events)")
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="output path (default: trace.json)")
+    _add_fault_arguments(p_trace)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report",
+        help="run one sampled experiment and render a markdown run report",
+    )
+    _add_model_arguments(p_report)
+    p_report.add_argument("--strategy", choices=STRATEGIES,
+                          default="lazy-group")
+    p_report.add_argument("--duration", type=float, default=30.0)
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--commutative", action="store_true",
+                          help="use commuting increment transactions")
+    p_report.add_argument("--sample-interval", type=float, default=None,
+                          metavar="SEC",
+                          help="telemetry window in virtual seconds "
+                          "(default: duration/50)")
+    p_report.add_argument("--out", default=None, metavar="PATH",
+                          help="write markdown to PATH instead of stdout")
+    p_report.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the report as JSON to PATH")
+    _add_fault_arguments(p_report)
+    p_report.set_defaults(fn=cmd_report)
 
     p_cmp = sub.add_parser("compare", help="run every strategy, one table",
                            epilog=_FLAG_PATHS_EPILOG)
@@ -489,6 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "fits) as JSON")
     p_sweep.add_argument("--csv", default=None, metavar="PATH",
                          help="write per-cell rate aggregates as CSV")
+    p_sweep.add_argument("--series-out", default=None, metavar="DIR",
+                         help="write per-cell telemetry time-series JSON "
+                         "files into DIR (implies sampling)")
+    p_sweep.add_argument("--sample-interval", type=float, default=None,
+                         metavar="SEC",
+                         help="telemetry window in virtual seconds "
+                         "(default: duration/50 when --series-out is set, "
+                         "else off)")
     _add_fault_arguments(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 

@@ -90,6 +90,20 @@ class TwoTierSystem(LazyMasterSystem):
             for mid in range(num_base, num_nodes)
         }
 
+    def _register_probes(self, telemetry) -> None:
+        # called from ReplicatedSystem.__init__, before self.mobiles exists;
+        # the closures only run at tick time (first tick at t = interval > 0)
+        super()._register_probes(telemetry)
+        telemetry.gauge(
+            "tentative_queue",
+            lambda: sum(
+                len(m.pending_transactions) for m in self.mobiles.values()
+            ),
+        )
+        telemetry.counter_rate(
+            "rejection_rate", lambda: self.metrics.tentative_rejected
+        )
+
     # ------------------------------------------------------------------ #
     # topology helpers
     # ------------------------------------------------------------------ #

@@ -87,6 +87,8 @@ class FaultInjector:
             "partition", phase="start",
             left=list(partition.left), right=list(partition.right),
         )
+        self._mark("partition-start",
+                   left=list(partition.left), right=list(partition.right))
 
     def _heal_partition(self, partition) -> None:
         for a in partition.left:
@@ -97,14 +99,24 @@ class FaultInjector:
             "partition", phase="heal",
             left=list(partition.left), right=list(partition.right),
         )
+        self._mark("partition-heal",
+                   left=list(partition.left), right=list(partition.right))
 
     def _crash(self, crash) -> None:
         self.system.crash_node(crash.node)
         self.crashes += 1
+        self._mark("crash", node=crash.node)
 
     def _recover(self, crash) -> None:
         self.system.recover_node(crash.node)
         self.recoveries += 1
+        self._mark("recover", node=crash.node)
+
+    def _mark(self, label: str, **detail) -> None:
+        """Pin a fault-timeline mark onto the telemetry series, if any."""
+        telemetry = getattr(self.system, "telemetry", None)
+        if telemetry is not None:
+            telemetry.mark(self.system.engine.now, label, **detail)
 
     # ------------------------------------------------------------------ #
     # wire tap

@@ -75,8 +75,8 @@ FAILED = "failed"
 TIMEOUT = "timeout"
 
 # bump when the result payload schema changes, so stale cache entries miss
-# (2: fault plans joined the config hash, extras carry oracle verdicts)
-CACHE_VERSION = 2
+# (3: sample_interval joined the config hash, extras carry telemetry series)
+CACHE_VERSION = 3
 
 # The rate the analytic model predicts for each strategy — the "danger"
 # curve of cmd_danger, used for the measured-vs-model column and the fit
@@ -157,6 +157,10 @@ class Campaign:
         fault_seed: selects the fault randomness stream (workload streams
             are unaffected — see the seeding contract in
             :mod:`repro.faults.plan`).
+        sample_interval: telemetry sampling window forwarded to every cell
+            (0 disables).  Each run's windowed series come back serialised
+            in its payload's ``extra["series"]``, surviving the worker
+            process boundary; ``repro sweep --series-out`` persists them.
     """
 
     strategies: Tuple[str, ...]
@@ -170,6 +174,7 @@ class Campaign:
     warmup: float = 0.0
     faults: Optional[str] = None
     fault_seed: int = 0
+    sample_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -213,6 +218,7 @@ class Campaign:
                                 num_base=self.num_base,
                                 warmup=self.warmup,
                                 faults=plan,
+                                sample_interval=self.sample_interval,
                             ),
                             axis=self.axis,
                         )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Type
 
@@ -83,6 +84,19 @@ class ExperimentConfig:
         tracer: optional :class:`~repro.sim.tracing.Tracer` threaded into
             the system (instrumentation only — excluded from provenance
             dictionaries and cache keys).
+        sample_interval: telemetry sampling window in virtual seconds.
+            ``0`` (the default) disables sampling entirely; when positive a
+            :class:`~repro.obs.samplers.Telemetry` handle is created, probes
+            registered by the system and its network/lock-manager/injector
+            fire every window, and the resulting series land (serialised) in
+            ``result.extra["series"]``.
+        telemetry: pre-built telemetry handle to use instead of creating
+            one; implies sampling even when ``sample_interval`` is 0 (the
+            handle carries its own interval).  Instrumentation only, like
+            ``tracer``.
+        profiler: optional :class:`~repro.obs.profiler.Profiler` installed
+            on the engine for the whole run (wall-clock hot-spot
+            bucketing).  Instrumentation only, like ``tracer``.
     """
 
     strategy: str
@@ -99,6 +113,9 @@ class ExperimentConfig:
     propagate_ops: Optional[bool] = None
     faults: Optional[FaultPlan] = None
     tracer: Optional[Any] = None
+    sample_interval: float = 0.0
+    telemetry: Optional[Any] = None
+    profiler: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -111,6 +128,8 @@ class ExperimentConfig:
             raise ConfigurationError("num_base must be positive")
         if self.warmup < 0:
             raise ConfigurationError("warmup must be >= 0")
+        if self.sample_interval < 0:
+            raise ConfigurationError("sample_interval must be >= 0")
 
 
 @dataclass
@@ -143,8 +162,30 @@ class ExperimentResult:
         return self.rates.reconciliation_rate
 
 
-def build_system(config: ExperimentConfig) -> ReplicatedSystem:
-    """Construct the configured replication system (without workload)."""
+def _make_telemetry(config: ExperimentConfig):
+    """The telemetry handle this config asks for, or None.
+
+    An explicit ``config.telemetry`` wins; otherwise a fresh handle is
+    created when ``sample_interval > 0``.  Imported lazily so the harness
+    stays importable even if the obs subsystem is trimmed out.
+    """
+    if config.telemetry is not None:
+        return config.telemetry
+    if config.sample_interval > 0:
+        from repro.obs.samplers import Telemetry
+
+        return Telemetry(interval=config.sample_interval)
+    return None
+
+
+def build_system(
+    config: ExperimentConfig, telemetry: Optional[Any] = None
+) -> ReplicatedSystem:
+    """Construct the configured replication system (without workload).
+
+    ``telemetry`` overrides the config's handle (``run_experiment`` passes
+    the one it created from ``sample_interval``).
+    """
     p = config.params
     cls = STRATEGY_CLASSES[config.strategy]
     common = dict(
@@ -154,6 +195,7 @@ def build_system(config: ExperimentConfig) -> ReplicatedSystem:
         seed=config.seed,
         record_history=config.record_history,
         tracer=config.tracer,
+        telemetry=telemetry if telemetry is not None else _make_telemetry(config),
     )
     if config.retry_deadlocks is not None:
         # only override when asked: two-tier's constructor defaults its
@@ -187,7 +229,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     deadline are subtracted from the reported metrics.
     """
     p = config.params
-    system = build_system(config)
+    telemetry = _make_telemetry(config)
+    system = build_system(config, telemetry=telemetry)
+    if config.profiler is not None:
+        config.profiler.install(system.engine)
 
     injector: Optional[FaultInjector] = None
     if config.faults is not None and not config.faults.empty:
@@ -244,6 +289,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             )
             scheduler.start(generation_horizon)
 
+    if telemetry is not None:
+        # bounded tick pre-schedule: a self-rescheduling tick would keep the
+        # drain phase (run() with no horizon) alive forever
+        telemetry.schedule(system.engine, generation_horizon)
+
     if config.warmup > 0:
         system.run(until=config.warmup)
         baseline = system.metrics.as_dict()
@@ -281,6 +331,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     }
     if injector is not None:
         extra["fault_stats"] = injector.stats()
+    if telemetry is not None:
+        # serialised (not the live handle) so results survive the process
+        # boundary the campaign pool sends them across
+        extra["series"] = telemetry.to_dict()
+    if config.tracer is not None and config.tracer.dropped > 0:
+        extra["trace_dropped"] = config.tracer.dropped
+        print(
+            f"warning: tracer ring buffer overflowed; "
+            f"{config.tracer.dropped} events dropped (raise Tracer(limit=...))",
+            file=sys.stderr,
+        )
 
     return ExperimentResult(
         config=config,

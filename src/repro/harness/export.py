@@ -29,6 +29,7 @@ def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
         "record_history": config.record_history,
         "retry_deadlocks": config.retry_deadlocks,
         "propagate_ops": config.propagate_ops,
+        "sample_interval": config.sample_interval,
         "acceptance": getattr(config.acceptance, "name", None),
         "rule": getattr(config.rule, "name", None),
         "faults": config.faults.to_dict() if config.faults is not None else None,
@@ -151,6 +152,54 @@ def campaign_to_dict(outcome) -> Dict[str, Any]:
             for fit in outcome.fits()
         ],
     }
+
+
+def write_campaign_series(outcome, directory: Union[str, Path]) -> List[Path]:
+    """Persist each cell's telemetry time-series to its own JSON file.
+
+    One file per (strategy, axis value) cell, named
+    ``<strategy>_<axis><value>.json``, each holding every successful seed
+    replica's serialised series (the run's ``extra["series"]`` payload) plus
+    provenance.  Runs sampled with ``sample_interval=0`` carry no series and
+    are skipped; the return lists the files actually written.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    by_cell: Dict[Any, List[Any]] = {}
+    order: List[Any] = []
+    for o in outcome.outcomes:
+        series = (o.payload or {}).get("extra", {}).get("series")
+        if not o.ok or series is None:
+            continue
+        cell = o.spec.cell()
+        if cell not in by_cell:
+            by_cell[cell] = []
+            order.append(cell)
+        by_cell[cell].append(o)
+    written: List[Path] = []
+    for cell in order:
+        members = by_cell[cell]
+        strategy, value = cell
+        axis = members[0].spec.axis
+        doc = {
+            "strategy": strategy,
+            "axis": axis,
+            "value": value,
+            "runs": [
+                {
+                    "seed": o.spec.config.seed,
+                    "series": o.payload["extra"]["series"],
+                }
+                for o in members
+            ],
+        }
+        value_text = f"{value:g}".replace(".", "p")
+        target = root / f"{strategy}_{axis}{value_text}.json"
+        with target.open("w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(target)
+    return written
 
 
 def write_campaign_csv(outcome, path: Union[str, Path]) -> Path:

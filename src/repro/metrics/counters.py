@@ -30,6 +30,10 @@ class Metrics:
     * ``restarts`` — deadlock victims resubmitted.
     """
 
+    #: ``extra`` names the simulator itself uses; the whitelist strict mode
+    #: checks ad-hoc bumps against.
+    KNOWN_EXTRAS = frozenset({"rejected_node_down", "crashes", "recoveries"})
+
     waits: int = 0
     deadlocks: int = 0
     reconciliations: int = 0
@@ -44,13 +48,23 @@ class Metrics:
     restarts: int = 0
     messages: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: When True, :meth:`bump` rejects names that are neither dataclass
+    #: counters nor in :data:`KNOWN_EXTRAS` — a typo'd ``bump("comits")``
+    #: raises instead of silently growing ``extra``.  Off by default so
+    #: exploratory extensions stay cheap.
+    strict: bool = False
 
     def bump(self, name: str, amount: float = 1) -> None:
         """Increment a counter by name (supports ad-hoc ``extra`` counters)."""
-        if hasattr(self, name) and name != "extra":
+        if hasattr(self, name) and name not in ("extra", "strict", "KNOWN_EXTRAS"):
             setattr(self, name, getattr(self, name) + amount)
-        else:
-            self.extra[name] = self.extra.get(name, 0) + amount
+            return
+        if self.strict and name not in self.KNOWN_EXTRAS:
+            raise KeyError(
+                f"unknown counter {name!r} (strict mode); declared counters: "
+                f"{sorted(self.as_dict())} plus extras {sorted(self.KNOWN_EXTRAS)}"
+            )
+        self.extra[name] = self.extra.get(name, 0) + amount
 
     def as_dict(self) -> Dict[str, float]:
         """Flat name -> count mapping, including extras."""

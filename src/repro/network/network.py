@@ -48,9 +48,11 @@ class Network:
         self._outbound: Dict[int, Deque[Message]] = {}
         self._inbound: Dict[int, Deque[Message]] = {}
         self.fault_injector = None  # optional repro.faults.FaultInjector
+        self.telemetry = None  # optional repro.obs.samplers.Telemetry
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_parked = 0
+        self.in_flight = 0  # scheduled for delivery, not yet handled
         self._latency_total = 0.0
         self._latency_max = 0.0
 
@@ -74,6 +76,19 @@ class Network:
         if self.fault_injector is not None:
             raise ConfigurationError("a fault injector is already installed")
         self.fault_injector = injector
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Register this fabric's gauges on a telemetry handle.
+
+        ``net_inflight`` is the congestion signal the paper's lazy schemes
+        make interesting: replica updates queued on the wire.  ``net_parked``
+        counts store-and-forward backlog (dark mobiles, open partitions).
+        """
+        self.telemetry = telemetry
+        telemetry.gauge("net_inflight", lambda: self.in_flight)
+        telemetry.gauge("net_parked", self.parked_total)
+        telemetry.counter_rate("message_rate",
+                               lambda: self.messages_delivered)
 
     def is_connected(self, node_id: int) -> bool:
         return node_id in self._connected
@@ -225,9 +240,11 @@ class Network:
         # a message parked past its nominal delivery time goes out promptly
         if msg.deliver_time < self.engine.now:
             msg.deliver_time = self.engine.now
+        self.in_flight += 1
         self.engine.schedule(delay, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
+        self.in_flight -= 1
         if msg.dst not in self._connected or not self.reachable(msg.src, msg.dst):
             # the destination went dark while the message was in flight:
             # park it for redelivery at the next reconnect
@@ -270,6 +287,11 @@ class Network:
 
     def parked_inbound(self, node_id: int) -> int:
         return len(self._inbound.get(node_id, ()))
+
+    def parked_total(self) -> int:
+        """Messages currently waiting in store-and-forward queues."""
+        return (sum(len(q) for q in self._outbound.values())
+                + sum(len(q) for q in self._inbound.values()))
 
     def _check_node(self, node_id: int) -> None:
         if not 0 <= node_id < self.num_nodes:

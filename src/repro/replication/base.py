@@ -84,6 +84,13 @@ class ReplicatedSystem:
         max_retries: bound on resubmissions, preventing livelock.
         victim_policy: deadlock victim selection (ablation hook).
         initial_value: starting value of every object.
+        telemetry: optional :class:`~repro.obs.samplers.Telemetry` handle;
+            when given, the system registers its standard probes (lock
+            wait-queue depth, per-node WAL active transactions, network
+            in-flight/parked gauges, per-window commit/abort/deadlock/wait
+            rates) and subclasses add strategy-specific ones via
+            :meth:`_register_probes`.  Instrumentation only — sampling
+            never changes workload behaviour.
     """
 
     name = "abstract"
@@ -103,11 +110,13 @@ class ReplicatedSystem:
         engine: Optional[Engine] = None,
         record_history: bool = False,
         tracer=None,
+        telemetry=None,
     ):
         if num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
         self.engine = engine or Engine()
         self.tracer = tracer  # optional repro.sim.tracing.Tracer
+        self.telemetry = telemetry  # optional repro.obs.samplers.Telemetry
         if record_history:
             from repro.verify.history import History
 
@@ -134,6 +143,8 @@ class ReplicatedSystem:
         ]
         for node in self.nodes:
             self.network.register(node.node_id, self._make_handler(node))
+        if telemetry is not None:
+            self._register_probes(telemetry)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -154,6 +165,7 @@ class ReplicatedSystem:
             self.detector,
             on_wait=self._on_wait,
             on_deadlock=self._on_deadlock,
+            telemetry=self.telemetry,
         )
         wal = WriteAheadLog()
         clock = TimestampGenerator(node_id)
@@ -189,17 +201,47 @@ class ReplicatedSystem:
     # metric hooks
     # ------------------------------------------------------------------ #
 
+    def _register_probes(self, telemetry) -> None:
+        """Install the standard telemetry probes for this system.
+
+        Subclasses extend (call ``super()._register_probes(telemetry)``)
+        with strategy-specific series.  Probes are closures over live
+        structures, evaluated only at sample ticks — nothing here runs on
+        the transaction hot path.
+        """
+        telemetry.gauge(
+            "lock_wait_queue",
+            lambda: sum(n.locks.total_queued() for n in self.nodes),
+        )
+        telemetry.gauge(
+            "wal_active_txns",
+            lambda: sum(n.wal.pending_transactions() for n in self.nodes),
+        )
+        for node in self.nodes:
+            telemetry.gauge(
+                f"wal_active_txns/node{node.node_id}",
+                node.wal.pending_transactions,
+            )
+        self.network.bind_telemetry(telemetry)
+        telemetry.counter_rate("commit_rate", lambda: self.metrics.commits)
+        telemetry.counter_rate("abort_rate", lambda: self.metrics.aborts)
+        telemetry.counter_rate("deadlock_rate", lambda: self.metrics.deadlocks)
+        telemetry.counter_rate("wait_rate", lambda: self.metrics.waits)
+        telemetry.counter_rate(
+            "reconciliation_rate", lambda: self.metrics.reconciliations
+        )
+
     def _trace(self, category: str, **detail) -> None:
         if self.tracer is not None:
             self.tracer.emit(self.engine.now, category, **detail)
 
     def _on_wait(self, txn: Transaction) -> None:
         self.metrics.waits += 1
-        self._trace("wait", txn=txn.txn_id)
+        self._trace("wait", txn=txn.txn_id, node=txn.origin_node)
 
     def _on_deadlock(self, txn: Transaction) -> None:
         self.metrics.deadlocks += 1
-        self._trace("deadlock", txn=txn.txn_id)
+        self._trace("deadlock", txn=txn.txn_id, node=txn.origin_node)
 
     # ------------------------------------------------------------------ #
     # strategy interface
@@ -236,7 +278,8 @@ class ReplicatedSystem:
         txn = self.nodes[origin].tm.begin(label=label)
         txn.mark_aborted(self.engine.now, reason="node-down")
         self.metrics.bump("rejected_node_down")
-        self._trace("abort", txn=txn.txn_id, reason="node-down")
+        self._trace("abort", txn=txn.txn_id, reason="node-down",
+                    node=origin, start=txn.start_time)
         return txn
         yield  # pragma: no cover - marks this function as a generator
 
@@ -290,7 +333,8 @@ class ReplicatedSystem:
         for node in nodes:
             node.tm.finish_abort_local(txn)
         self.metrics.aborts += 1
-        self._trace("abort", txn=txn.txn_id, reason=reason)
+        self._trace("abort", txn=txn.txn_id, reason=reason,
+                    node=txn.origin_node, start=txn.start_time)
 
     def _commit_everywhere(self, txn: Transaction,
                            nodes: Sequence[NodeContext]) -> None:
@@ -300,7 +344,8 @@ class ReplicatedSystem:
         self.metrics.commits += 1
         if self.history is not None:
             self.history.mark_committed(txn.txn_id)
-        self._trace("commit", txn=txn.txn_id, origin=txn.origin_node)
+        self._trace("commit", txn=txn.txn_id, origin=txn.origin_node,
+                    start=txn.start_time)
 
     # ------------------------------------------------------------------ #
     # crash & recovery (fault injection)

@@ -50,6 +50,17 @@ class LazyGroupSystem(ReplicatedSystem):
         self.propagate_ops = propagate_ops
         self.replica_updates_dropped = 0
 
+    def _register_probes(self, telemetry) -> None:
+        super()._register_probes(telemetry)
+        # the lazy-group danger signals: replica-update application rate
+        # and updates abandoned after exhausting deadlock retries
+        telemetry.counter_rate(
+            "replica_update_rate", lambda: self.metrics.replica_updates
+        )
+        telemetry.gauge(
+            "replica_updates_dropped", lambda: self.replica_updates_dropped
+        )
+
     # ------------------------------------------------------------------ #
     # root transaction
     # ------------------------------------------------------------------ #
@@ -63,13 +74,16 @@ class LazyGroupSystem(ReplicatedSystem):
             node.tm.finish_abort_local(txn)
             txn.mark_aborted(self.engine.now, reason=exc.reason)
             self.metrics.aborts += 1
+            self._trace("abort", txn=txn.txn_id, reason=exc.reason,
+                        node=txn.origin_node, start=txn.start_time)
             return txn
         txn.mark_committed(self.engine.now)
         node.tm.finish_commit_local(txn)
         self.metrics.commits += 1
         if self.history is not None:
             self.history.mark_committed(txn.txn_id)
-        self._trace("commit", txn=txn.txn_id, origin=txn.origin_node)
+        self._trace("commit", txn=txn.txn_id, origin=txn.origin_node,
+                    start=txn.start_time)
         self._propagate(origin, txn)
         return txn
 

@@ -65,6 +65,12 @@ class LazyMasterSystem(ReplicatedSystem):
         self.master_broadcasts = master_broadcasts
         self.blocked_by_disconnect = 0
 
+    def _register_probes(self, telemetry) -> None:
+        super()._register_probes(telemetry)
+        # stale propagated updates suppressed at replicas: the lazy-master
+        # analogue of lazy-group's reconciliations
+        telemetry.counter_rate("stale_rate", lambda: self.metrics.stale_updates)
+
     def master_of(self, oid: int) -> NodeContext:
         return self.nodes[self.ownership[oid]]
 

@@ -44,6 +44,9 @@ class Engine:
         self._sequence = itertools.count()
         self._running = False
         self._process_count = 0
+        # optional repro.obs.profiler.Profiler tap on callback dispatch;
+        # None keeps the hot loop at a single attribute check
+        self.profiler = None
 
     # ------------------------------------------------------------------ #
     # scheduling primitives
@@ -193,7 +196,10 @@ class Engine:
                 if at < self.now:
                     raise SimulationError("event queue time went backwards")
                 self.now = at
-                callback(*args)
+                if self.profiler is None:
+                    callback(*args)
+                else:
+                    self.profiler.dispatch(callback, args)
             if until is not None and self.now < until:
                 self.now = until
         finally:

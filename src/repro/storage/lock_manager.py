@@ -79,6 +79,10 @@ class LockManager:
         detector: shared :class:`~repro.storage.deadlock.DeadlockDetector`.
         on_wait: optional metrics hook called once per blocked request.
         on_deadlock: optional metrics hook called once per chosen victim.
+        telemetry: optional :class:`~repro.obs.samplers.Telemetry` handle
+            (the owning system registers an aggregate wait-queue-depth
+            gauge over all nodes; the handle is kept here so per-node
+            probes can be added without re-plumbing).
     """
 
     def __init__(
@@ -88,12 +92,14 @@ class LockManager:
         detector,
         on_wait: Optional[Callable[[Any], None]] = None,
         on_deadlock: Optional[Callable[[Any], None]] = None,
+        telemetry=None,
     ):
         self.engine = engine
         self.node_id = node_id
         self.detector = detector
         self.on_wait = on_wait
         self.on_deadlock = on_deadlock
+        self.telemetry = telemetry
         self._table: Dict[int, _LockEntry] = {}
         self._held_by_txn: Dict[Any, set] = {}
 
@@ -301,6 +307,10 @@ class LockManager:
     def queue_length(self, oid: int) -> int:
         entry = self._table.get(oid)
         return len(entry.queue) if entry else 0
+
+    def total_queued(self) -> int:
+        """Blocked lock requests across every object (wait-queue depth)."""
+        return sum(len(entry.queue) for entry in self._table.values())
 
     def locks_held(self, txn: Any) -> set:
         return set(self._held_by_txn.get(txn, set()))

@@ -1,0 +1,94 @@
+"""CLI smoke tests for the observability verbs: trace, report, series-out."""
+
+import json
+
+from repro.cli import main
+
+_SMALL = [
+    "--nodes", "3", "--db-size", "60", "--tps", "4",
+    "--actions", "3", "--action-time", "0.002", "--duration", "10",
+]
+
+
+def test_trace_command_writes_perfetto_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main([
+        "trace", "--strategy", "lazy-group", *_SMALL,
+        "--faults", "partition=3", "--out", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "ui.perfetto.dev" in printed
+    doc = json.load(out.open())
+    assert doc["traceEvents"]
+    body = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+    assert any(e["cat"] == "partition" for e in body)
+
+
+def test_report_command_stdout(capsys):
+    assert main([
+        "report", "--strategy", "lazy-group", *_SMALL,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "## Rates" in out
+    assert "## Time series" in out
+    assert "commit_rate" in out
+
+
+def test_report_command_files(tmp_path, capsys):
+    md = tmp_path / "report.md"
+    js = tmp_path / "report.json"
+    assert main([
+        "report", "--strategy", "two-tier", *_SMALL,
+        "--sample-interval", "0.5",
+        "--out", str(md), "--json", str(js),
+    ]) == 0
+    assert "tentative_queue" in md.read_text()
+    doc = json.load(js.open())
+    assert doc["sample_interval"] == 0.5
+
+
+def test_simulate_profile(capsys):
+    assert main([
+        "simulate", "--strategy", "lazy-group", *_SMALL, "--profile",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "engine hot spots" in out
+    assert "lazy-group-txn" in out
+
+
+def test_simulate_trace_out(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main([
+        "simulate", "--strategy", "lazy-master", *_SMALL,
+        "--trace", "all", "--trace-out", str(out),
+    ]) == 0
+    assert json.load(out.open())["traceEvents"]
+
+
+def test_simulate_trace_out_requires_trace(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main([
+            "simulate", "--strategy", "lazy-master", *_SMALL,
+            "--trace-out", str(tmp_path / "trace.json"),
+        ])
+
+
+def test_sweep_series_out(tmp_path, capsys):
+    series_dir = tmp_path / "series"
+    assert main([
+        "sweep", "--strategy", "lazy-group", "--nodes", "2,3",
+        "--seeds", "2", "--db-size", "60", "--tps", "4",
+        "--duration", "8", "--jobs", "0", "--no-cache",
+        "--series-out", str(series_dir),
+    ]) == 0
+    files = sorted(series_dir.glob("*.json"))
+    assert [f.name for f in files] == [
+        "lazy-group_nodes2.json", "lazy-group_nodes3.json",
+    ]
+    doc = json.load(files[0].open())
+    assert {r["seed"] for r in doc["runs"]} == {0, 1}
+    series = doc["runs"][0]["series"]["series"]
+    assert "commit_rate" in series and "reconciliation_rate" in series

@@ -1,0 +1,134 @@
+"""Chrome/Perfetto trace export: JSON schema validity and event mapping."""
+
+import json
+
+from repro.analytic import ModelParameters
+from repro.faults import FaultPlan
+from repro.harness import ExperimentConfig, run_experiment
+from repro.obs.chrome_trace import (
+    chrome_trace_events,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sim.tracing import TraceEvent, Tracer
+
+
+def _faulted_run(seed=2):
+    params = ModelParameters(
+        db_size=80, nodes=4, tps=8, actions=4, action_time=0.005
+    )
+    duration = 25.0
+    tracer = Tracer()
+    run_experiment(
+        ExperimentConfig(
+            strategy="lazy-group",
+            params=params,
+            duration=duration,
+            seed=seed,
+            faults=FaultPlan.from_spec(
+                "partition=5,drop=0.02", num_nodes=4, duration=duration
+            ),
+            tracer=tracer,
+        )
+    )
+    return tracer
+
+
+# --------------------------------------------------------------------- #
+# unit-level mapping
+# --------------------------------------------------------------------- #
+
+
+def test_commit_with_start_becomes_complete_slice():
+    events = [
+        TraceEvent(time=2.5, category="commit",
+                   detail={"txn": 7, "origin": 1, "start": 2.0}),
+    ]
+    out = chrome_trace_events(events)
+    slices = [e for e in out if e["ph"] == "X"]
+    assert len(slices) == 1
+    s = slices[0]
+    assert s["pid"] == 1
+    assert s["tid"] == 7
+    assert s["ts"] == 2.0e6
+    assert s["dur"] == 0.5e6
+    assert s["cat"] == "txn,commit"
+
+
+def test_fault_and_partition_are_global_instants():
+    events = [
+        TraceEvent(time=1.0, category="partition",
+                   detail={"phase": "start", "left": [0], "right": [1]}),
+        TraceEvent(time=2.0, category="fault",
+                   detail={"kind": "drop", "src": 0, "dst": 1}),
+    ]
+    out = [e for e in chrome_trace_events(events) if e["ph"] == "i"]
+    assert all(e["s"] == "g" and e["pid"] == 0 for e in out)
+    assert out[1]["name"] == "fault:drop"
+
+
+def test_node_scoped_instant():
+    events = [
+        TraceEvent(time=1.0, category="deadlock",
+                   detail={"txn": 3, "node": 2}),
+    ]
+    (instant,) = (e for e in chrome_trace_events(events) if e["ph"] == "i")
+    assert instant["s"] == "p"
+    assert instant["pid"] == 2
+
+
+def test_metadata_covers_requested_nodes():
+    out = chrome_trace_events([], num_nodes=3)
+    names = [e for e in out if e["name"] == "process_name"]
+    assert [e["pid"] for e in names] == [0, 1, 2]
+    assert names[1]["args"]["name"] == "node 1"
+
+
+# --------------------------------------------------------------------- #
+# whole-trace schema checks on a real faulted run
+# --------------------------------------------------------------------- #
+
+
+def test_trace_json_roundtrip_and_schema(tmp_path):
+    tracer = _faulted_run()
+    path = write_chrome_trace(tracer, tmp_path / "trace.json", num_nodes=4)
+    doc = json.load(path.open())  # must be loadable JSON
+
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["events"] == len(tracer)
+
+    body = [e for e in events if e["ph"] != "M"]
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts), "body events must be ts-ordered"
+    assert all(e["ts"] >= 0 for e in body)
+    assert all(e.get("dur", 0) >= 0 for e in body)
+
+    # per-node tracks: every node both named and used
+    named = {e["pid"] for e in events if e.get("name") == "process_name"}
+    assert named == {0, 1, 2, 3}
+    slice_pids = {e["pid"] for e in body if e["ph"] == "X"}
+    assert slice_pids <= {0, 1, 2, 3} and len(slice_pids) > 1
+
+    # the chaos scenario must leave at least one fault/deadlock instant
+    instants = [e for e in body if e["ph"] == "i"]
+    assert any(e["cat"] in ("fault", "partition", "deadlock")
+               for e in instants)
+
+
+def test_exotic_detail_values_stringified():
+    events = [
+        TraceEvent(time=0.5, category="partition",
+                   detail={"phase": "start", "left": [0, 1],
+                           "right": (2, object())}),
+    ]
+    doc = to_chrome_trace(events)
+    json.dumps(doc)  # must not raise
+
+
+def test_trace_without_start_detail_degrades_to_instant():
+    # commit events lacking the start detail (older traces) still export
+    events = [TraceEvent(time=1.0, category="commit", detail={"txn": 1})]
+    out = [e for e in chrome_trace_events(events) if e["ph"] != "M"]
+    assert len(out) == 1
+    assert out[0]["ph"] == "i"

@@ -1,0 +1,98 @@
+"""Run reports: markdown sections, JSON shape, and series recovery."""
+
+import json
+
+from repro.analytic import ModelParameters
+from repro.faults import FaultPlan
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.campaign import result_from_dict
+from repro.harness.export import result_to_dict
+from repro.obs.report import build_report, write_report
+
+
+def _run(sample_interval=1.0, faults=True, seed=1):
+    params = ModelParameters(
+        db_size=80, nodes=4, tps=6, actions=3, action_time=0.005
+    )
+    duration = 20.0
+    plan = (FaultPlan.from_spec("partition=5", num_nodes=4,
+                                duration=duration)
+            if faults else None)
+    return run_experiment(
+        ExperimentConfig(
+            strategy="lazy-group",
+            params=params,
+            duration=duration,
+            seed=seed,
+            faults=plan,
+            sample_interval=sample_interval,
+        )
+    )
+
+
+def test_report_markdown_sections():
+    report = build_report(_run())
+    text = report.to_markdown()
+    assert text.startswith("# lazy-group run")
+    for heading in ("## Run", "## Oracle", "## Rates", "## Counters",
+                    "## Injected faults", "## Fault timeline",
+                    "## Time series"):
+        assert heading in text, f"missing section {heading}"
+    assert "partition-start" in text
+    assert "reconciliation_rate" in text
+    # sparklines rendered between pipes
+    assert text.count("|") > 10
+
+
+def test_report_without_sampling_or_faults():
+    report = build_report(_run(sample_interval=0.0, faults=False))
+    text = report.to_markdown()
+    assert "## Time series" not in text
+    assert "## Fault timeline" not in text
+    assert "## Injected faults" not in text
+    assert "## Oracle: ok" in text
+
+
+def test_report_dict_is_json_serialisable():
+    report = build_report(_run())
+    doc = json.loads(json.dumps(report.to_dict()))
+    assert doc["oracle_ok"] is True
+    assert doc["divergence"] == 0
+    assert "reconciliation_rate" in doc["series"]
+    assert doc["series"]["commit_rate"]["summary"]["count"] > 0
+    assert any(m["label"] == "partition-heal" for m in doc["timeline"])
+
+
+def test_report_from_serialised_payload():
+    """Series recovered from extra["series"] after a round trip through the
+    campaign payload shape (process/disk boundary)."""
+    result = _run()
+    payload = json.loads(json.dumps(result_to_dict(result)))
+    rebuilt = result_from_dict(result.config, payload)
+    report = build_report(rebuilt)
+    assert "## Time series" in report.to_markdown()
+    assert any(s.name == "reconciliation_rate" for s in report.series)
+    assert report.sample_interval == 1.0
+
+
+def test_write_report(tmp_path):
+    report = build_report(_run(), title="chaos run")
+    path = write_report(report, tmp_path / "sub" / "report.md")
+    text = path.read_text()
+    assert text.startswith("# chaos run")
+
+
+def test_trace_dropped_warning_in_report():
+    from repro.sim.tracing import Tracer
+
+    params = ModelParameters(
+        db_size=60, nodes=3, tps=8, actions=4, action_time=0.002
+    )
+    tracer = Tracer(limit=50)  # tiny ring buffer, guaranteed overflow
+    result = run_experiment(
+        ExperimentConfig(strategy="lazy-group", params=params,
+                         duration=15.0, seed=0, tracer=tracer)
+    )
+    assert result.extra["trace_dropped"] == tracer.dropped > 0
+    report = build_report(result)
+    assert "ring buffer dropped" in report.to_markdown()
