@@ -1,0 +1,59 @@
+"""Kernel hot-path benchmark: the refactored kernel vs the frozen baseline.
+
+The refactor's acceptance bar is a same-machine A/B: the live engine must
+sustain at least 2× the events/sec of the verbatim pre-refactor copy in
+:mod:`repro.sim.legacy_kernel`.  The comparison is a ratio, so it holds on
+any machine — which is also how the CI perf gate consumes the
+``BENCH_kernel.json`` this module (and ``repro bench``) writes.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_kernel_hotpath.py -q
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import bench
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+#: the refactor's headline target: current kernel >= 2x the frozen one
+REQUIRED_SPEEDUP = 2.0
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One full measurement, shared by the assertions, persisted for CI."""
+    result = bench.collect()
+    bench.write(BENCH_PATH, result)
+    return result
+
+
+def test_engine_micro_speedup_at_least_2x(payload):
+    micro = payload["engine_micro"]
+    assert micro["current_events_per_sec"] > 0
+    assert micro["legacy_events_per_sec"] > 0
+    assert micro["speedup"] >= REQUIRED_SPEEDUP, (
+        f"kernel refactor target is >= {REQUIRED_SPEEDUP}x the frozen "
+        f"pre-refactor engine, measured {micro['speedup']:.2f}x"
+    )
+
+
+@pytest.mark.parametrize("strategy", ["eager-group", "two-tier"])
+def test_workload_bench_records_rates(payload, strategy):
+    workload = payload["workloads"][strategy]
+    assert workload["events"] > 10_000, "canonical workload barely ran"
+    assert workload["events_per_sec"] > 0
+    assert workload["commits"] > 100
+    assert workload["txns_per_sec"] > 0
+
+
+def test_payload_written_for_perf_gate(payload):
+    stored = bench.load(BENCH_PATH)
+    assert stored is not None
+    assert stored["engine_micro"]["speedup"] == payload["engine_micro"]["speedup"]
+    # the committed baseline and a fresh measurement on this machine must
+    # clear the CI gate's ratio check against each other
+    assert bench.check_regression(stored, stored) == []

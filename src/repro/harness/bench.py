@@ -1,0 +1,175 @@
+"""Kernel hot-path benchmarks: the repo's perf trajectory baseline.
+
+Two measurements, both recorded in ``BENCH_kernel.json``:
+
+* **Engine microbench** — a pure scheduling churn (processes ping-ponging
+  through timeouts) run against *both* the live kernel and the frozen
+  pre-refactor copy in :mod:`repro.sim.legacy_kernel`, on the same machine
+  in the same process.  The ``speedup`` ratio is machine-independent, which
+  is what the CI perf gate compares: raw events/sec on a cold CI runner
+  says nothing, but "the refactored kernel is no longer 2× the frozen one"
+  is a real regression wherever it is measured.
+* **Workload benches** — one canonical eager-group and one two-tier
+  experiment, reporting wall-clock events/sec (engine callbacks dispatched
+  per second) and committed txns/sec.  These track end-to-end cost, where
+  the lock manager, detector, network, and metrics layers all show up.
+
+Used by the ``repro bench`` CLI verb and
+``benchmarks/test_bench_kernel_hotpath.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analytic.parameters import ModelParameters
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.sim.engine import Engine
+from repro.sim.legacy_kernel import LegacyEngine
+
+#: default event count for one microbench round
+MICRO_EVENTS = 200_000
+
+#: canonical workload benches (small enough for a CI smoke, contended
+#: enough that storage and network layers dominate like they do at scale)
+_WORKLOAD_PARAMS = ModelParameters(
+    db_size=100, nodes=3, tps=40.0, actions=4, action_time=0.002,
+    message_delay=0.001,
+)
+_WORKLOAD_DURATION = 30.0
+_WORKLOAD_SEED = 7
+
+
+def _churn(engine: Any, events: int, procs: int = 10):
+    """Spawn ``procs`` processes that together schedule ``events`` callbacks.
+
+    Each yield costs two heap entries (the timer and the resume step), so a
+    process performs ``events / (2 * procs)`` sleeps.
+    """
+    sleeps = events // (2 * procs)
+
+    def worker():
+        for _ in range(sleeps):
+            yield engine.timeout(0.001)
+
+    for _ in range(procs):
+        engine.process(worker())
+
+
+def run_engine_micro(
+    engine_factory, events: int = MICRO_EVENTS, repeats: int = 3
+) -> float:
+    """Best-of-``repeats`` events/sec for one kernel's scheduling churn."""
+    best = 0.0
+    for _ in range(repeats):
+        engine = engine_factory()
+        _churn(engine, events)
+        start = time.perf_counter()
+        engine.run()
+        rate = events / (time.perf_counter() - start)
+        if rate > best:
+            best = rate
+    return best
+
+
+def run_workload_bench(strategy: str) -> Dict[str, Any]:
+    """One canonical workload run, measured wall-clock."""
+    params = _WORKLOAD_PARAMS
+    if strategy == "two-tier":
+        params = params.with_(disconnect_time=5.0, time_between_disconnects=5.0)
+    config = ExperimentConfig(
+        strategy=strategy,
+        params=params,
+        duration=_WORKLOAD_DURATION,
+        seed=_WORKLOAD_SEED,
+    )
+    start = time.perf_counter()
+    result = run_experiment(config)
+    wall = time.perf_counter() - start
+    events = result.system.engine.events_scheduled
+    commits = result.metrics.commits + result.metrics.tentative_committed
+    return {
+        "strategy": strategy,
+        "duration": _WORKLOAD_DURATION,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1),
+        "commits": commits,
+        "txns_per_sec": round(commits / wall, 1),
+    }
+
+
+def collect(
+    events: int = MICRO_EVENTS,
+    repeats: int = 3,
+    workloads: bool = True,
+) -> Dict[str, Any]:
+    """Run the full kernel benchmark and return the BENCH_kernel payload."""
+    current = run_engine_micro(Engine, events=events, repeats=repeats)
+    legacy = run_engine_micro(LegacyEngine, events=events, repeats=repeats)
+    payload: Dict[str, Any] = {
+        "benchmark": "kernel-hotpath",
+        "engine_micro": {
+            "events": events,
+            "repeats": repeats,
+            "current_events_per_sec": round(current, 1),
+            "legacy_events_per_sec": round(legacy, 1),
+            "speedup": round(current / legacy, 3),
+        },
+        "workloads": {},
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    if workloads:
+        for strategy in ("eager-group", "two-tier"):
+            payload["workloads"][strategy] = run_workload_bench(strategy)
+    return payload
+
+
+def check_regression(
+    payload: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.20,
+) -> List[str]:
+    """Compare a fresh payload against a committed baseline.
+
+    Only the machine-independent ``speedup`` ratio gates: a fresh run whose
+    current/legacy ratio fell more than ``max_regression`` below the
+    baseline's ratio means the live kernel got slower relative to the same
+    frozen reference.  Raw events/sec are reported for context but never
+    compared across machines.
+    """
+    failures: List[str] = []
+    base_ratio = baseline.get("engine_micro", {}).get("speedup")
+    fresh_ratio = payload.get("engine_micro", {}).get("speedup")
+    if base_ratio is None or fresh_ratio is None:
+        failures.append("baseline or fresh payload lacks engine_micro.speedup")
+        return failures
+    floor = base_ratio * (1.0 - max_regression)
+    if fresh_ratio < floor:
+        failures.append(
+            f"engine speedup regressed: {fresh_ratio:.3f}x vs baseline "
+            f"{base_ratio:.3f}x (floor {floor:.3f}x at "
+            f"{max_regression:.0%} tolerance)"
+        )
+    return failures
+
+
+def load(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        with Path(path).open(encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def write(path: Path, payload: Dict[str, Any]) -> None:
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -75,8 +75,9 @@ FAILED = "failed"
 TIMEOUT = "timeout"
 
 # bump when the result payload schema changes, so stale cache entries miss
-# (3: sample_interval joined the config hash, extras carry telemetry series)
-CACHE_VERSION = 3
+# (3: sample_interval joined the config hash, extras carry telemetry series;
+#  4: engine_queue gauge joined the standard telemetry series)
+CACHE_VERSION = 4
 
 # The rate the analytic model predicts for each strategy — the "danger"
 # curve of cmd_danger, used for the measured-vs-model column and the fit

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Dict, FrozenSet
 
 
-@dataclass
+@dataclass(slots=True)
 class Metrics:
     """System-wide counters for one simulation run.
 
@@ -32,7 +32,13 @@ class Metrics:
 
     #: ``extra`` names the simulator itself uses; the whitelist strict mode
     #: checks ad-hoc bumps against.
-    KNOWN_EXTRAS = frozenset({"rejected_node_down", "crashes", "recoveries"})
+    KNOWN_EXTRAS: ClassVar[FrozenSet[str]] = frozenset(
+        {"rejected_node_down", "crashes", "recoveries"}
+    )
+    #: declared counter field names, cached so :meth:`bump` is a frozenset
+    #: membership test plus one attribute store (filled in after the class
+    #: body, once the dataclass fields exist)
+    COUNTER_NAMES: ClassVar[FrozenSet[str]] = frozenset()
 
     waits: int = 0
     deadlocks: int = 0
@@ -56,7 +62,7 @@ class Metrics:
 
     def bump(self, name: str, amount: float = 1) -> None:
         """Increment a counter by name (supports ad-hoc ``extra`` counters)."""
-        if hasattr(self, name) and name not in ("extra", "strict", "KNOWN_EXTRAS"):
+        if name in self.COUNTER_NAMES:
             setattr(self, name, getattr(self, name) + amount)
             return
         if self.strict and name not in self.KNOWN_EXTRAS:
@@ -98,3 +104,8 @@ class Metrics:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         busy = {k: v for k, v in self.as_dict().items() if v}
         return f"Metrics({busy})"
+
+
+Metrics.COUNTER_NAMES = frozenset(
+    f.name for f in fields(Metrics) if f.name not in ("extra", "strict")
+)

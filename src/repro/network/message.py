@@ -9,7 +9,13 @@ from typing import Any
 _message_ids = itertools.count(1)
 
 
-@dataclass
+def reset_message_ids() -> None:
+    """Restart the global message id counter (test isolation only)."""
+    global _message_ids
+    _message_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
 class Message:
     """One network message.
 

@@ -49,6 +49,7 @@ class Network:
         self._inbound: Dict[int, Deque[Message]] = {}
         self.fault_injector = None  # optional repro.faults.FaultInjector
         self.telemetry = None  # optional repro.obs.samplers.Telemetry
+        self._handler_proc_names: Dict[str, str] = {}  # kind -> process name
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_parked = 0
@@ -261,7 +262,13 @@ class Network:
             self._latency_max = msg.latency
         result = handler(msg)
         if result is not None and hasattr(result, "send"):
-            self.engine.process(result, name=f"handler-{msg.kind}-{msg.msg_id}")
+            # one interned name per message kind: the per-message id suffix
+            # only ever got stripped again by the profiler's bucketing
+            names = self._handler_proc_names
+            name = names.get(msg.kind)
+            if name is None:
+                name = names[msg.kind] = f"handler-{msg.kind}"
+            self.engine._spawn(result, name)
 
     # ------------------------------------------------------------------ #
     # introspection

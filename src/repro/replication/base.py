@@ -136,6 +136,10 @@ class ReplicatedSystem:
         # crash interrupts them deterministically (a set of Process objects
         # would iterate in id() order, which differs run to run)
         self._live_processes: Dict[int, Dict[Process, None]] = {}
+        # interned per-origin process names: submit() runs once per user
+        # transaction, so the f-string was measurable at high TPS
+        self._txn_proc_names: Dict[int, str] = {}
+        self._rejected_proc_names: Dict[int, str] = {}
         self.network = Network(self.engine, num_nodes, message_delay=message_delay)
         self.nodes: List[NodeContext] = [
             self._make_node(i, db_size, action_time, lock_reads, initial_value)
@@ -209,6 +213,7 @@ class ReplicatedSystem:
         structures, evaluated only at sample ticks — nothing here runs on
         the transaction hot path.
         """
+        telemetry.gauge("engine_queue", lambda: self.engine.queued_events)
         telemetry.gauge(
             "lock_wait_queue",
             lambda: sum(n.locks.total_queued() for n in self.nodes),
@@ -258,13 +263,19 @@ class ReplicatedSystem:
         deadlock/acceptance aborts, which measure contention).
         """
         if origin in self.crashed:
-            return self.engine.process(
-                self._reject_at_crashed_node(origin, label),
-                name=f"{self.name}-rejected@{origin}",
+            name = self._rejected_proc_names.get(origin)
+            if name is None:
+                name = self._rejected_proc_names[origin] = (
+                    f"{self.name}-rejected@{origin}"
+                )
+            return self.engine._spawn(
+                self._reject_at_crashed_node(origin, label), name
             )
-        proc = self.engine.process(
-            self._run_with_retries(origin, list(ops), label),
-            name=f"{self.name}-txn@{origin}",
+        name = self._txn_proc_names.get(origin)
+        if name is None:
+            name = self._txn_proc_names[origin] = f"{self.name}-txn@{origin}"
+        proc = self.engine._spawn(
+            self._run_with_retries(origin, list(ops), label), name
         )
         self._track_live(origin, proc)
         return proc

@@ -1,0 +1,275 @@
+"""Frozen pre-refactor kernel: the perf-gate baseline.
+
+This module is a self-contained, verbatim copy of the simulation kernel as
+it stood *before* the hot-path refactor (slotted events, allocation-free
+resume, timer-generation sleeps).  It exists for exactly one purpose: the
+kernel benchmark (``repro bench`` and
+``benchmarks/test_bench_kernel_hotpath.py``) runs the same microbenchmark
+against both kernels **on the same machine** and records the speedup ratio
+in ``BENCH_kernel.json``.  Comparing ratios instead of raw events/sec makes
+the CI perf gate machine-independent.
+
+Do not "fix" or modernise this file — its value is that it does not change.
+Nothing outside the benchmark suite may import it.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.exceptions import ProcessKilled, SimulationError
+
+
+class LegacyEventState(enum.Enum):
+    PENDING = "pending"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class LegacyTimeout:
+    """Pre-refactor Timeout (identical to the live one at freeze time)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+
+class LegacySimEvent:
+    """Pre-refactor SimEvent: list of callback closures, no waiter fast path."""
+
+    __slots__ = ("state", "value", "exception", "_callbacks", "name")
+
+    def __init__(self, name: str = ""):
+        self.state = LegacyEventState.PENDING
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["LegacySimEvent"], None]] = []
+        self.name = name
+
+    @property
+    def pending(self) -> bool:
+        return self.state is LegacyEventState.PENDING
+
+    @property
+    def settled(self) -> bool:
+        return self.state is not LegacyEventState.PENDING
+
+    def succeed(self, value: Any = None) -> "LegacySimEvent":
+        if self.settled:
+            raise SimulationError(f"event {self} already settled")
+        self.state = LegacyEventState.SUCCEEDED
+        self.value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "LegacySimEvent":
+        if self.settled:
+            raise SimulationError(f"event {self} already settled")
+        self.state = LegacyEventState.FAILED
+        self.exception = exception
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback: Callable[["LegacySimEvent"], None]) -> None:
+        if self.settled:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["LegacySimEvent"], None]) -> None:
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class LegacyTimerEvent(LegacySimEvent):
+    """Pre-refactor timer wait: one heap-resident event object per sleep."""
+
+    __slots__ = ("abandoned",)
+
+    def __init__(self, name: str = "timeout"):
+        super().__init__(name=name)
+        self.abandoned = False
+
+
+class LegacyProcess(LegacySimEvent):
+    """Pre-refactor Process with the per-resume callback slot."""
+
+    __slots__ = ("generator", "engine", "waiting_on", "_resume_callback")
+
+    def __init__(self, engine, generator: Generator[Any, Any, Any], name: str = ""):
+        super().__init__(name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self.engine = engine
+        self.waiting_on: Optional[LegacySimEvent] = None
+        self._resume_callback = None
+
+    @property
+    def alive(self) -> bool:
+        return self.pending
+
+    def interrupt(self, exception: Optional[BaseException] = None) -> None:
+        if self.settled:
+            return
+        if exception is None:
+            exception = ProcessKilled(f"process {self.name!r} interrupted")
+        if self.waiting_on is None:
+            raise SimulationError(
+                f"cannot interrupt process {self.name!r}: it is not waiting"
+            )
+        target = self.waiting_on
+        callback = self._resume_callback
+        self.waiting_on = None
+        self._resume_callback = None
+        if callback is not None:
+            target.remove_callback(callback)
+        if getattr(target, "abandoned", None) is False:
+            target.abandoned = True
+        self.engine.schedule_now(self.engine._step, self, None, exception)
+
+
+class LegacyEngine:
+    """The pre-refactor engine: closure-per-resume, TimerEvent-per-sleep.
+
+    Verbatim copy (modulo class names) of ``repro.sim.engine.Engine`` at
+    freeze time.  See the module docstring for why this exists.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._process_count = 0
+        self.profiler = None
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), callback, args)
+        )
+
+    def schedule_now(self, callback: Callable, *args: Any) -> None:
+        self.schedule(0.0, callback, *args)
+
+    def timeout(self, delay: float) -> LegacyTimeout:
+        return LegacyTimeout(delay)
+
+    def event(self, name: str = "") -> LegacySimEvent:
+        return LegacySimEvent(name=name)
+
+    def process(self, generator: Generator, name: str = "") -> LegacyProcess:
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        proc = LegacyProcess(self, generator, name=name)
+        self._process_count += 1
+        self.schedule_now(self._step, proc, None, None)
+        return proc
+
+    def _step(
+        self,
+        process: LegacyProcess,
+        send_value: Any,
+        throw_exc: Optional[BaseException],
+    ) -> None:
+        if process.settled:
+            return
+        process.waiting_on = None
+        process._resume_callback = None
+        try:
+            if throw_exc is not None:
+                target = process.generator.throw(throw_exc)
+            else:
+                target = process.generator.send(send_value)
+        except StopIteration as stop:
+            process.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001
+            process.fail(exc)
+            return
+        try:
+            self._bind(process, target)
+        except SimulationError as exc:
+            process.generator.close()
+            process.fail(exc)
+
+    def _bind(self, process: LegacyProcess, target: Any) -> None:
+        if isinstance(target, LegacyTimeout):
+            event = LegacyTimerEvent()
+            self.schedule(target.delay, self._fire_timeout, event)
+            target = event
+        if isinstance(target, LegacySimEvent):
+            if target.settled:
+                if target.exception is not None:
+                    self.schedule_now(self._step, process, None, target.exception)
+                else:
+                    self.schedule_now(self._step, process, target.value, None)
+                return
+
+            def resume(event: LegacySimEvent, _process=process) -> None:
+                if event.exception is not None:
+                    self.schedule_now(self._step, _process, None, event.exception)
+                else:
+                    self.schedule_now(self._step, _process, event.value, None)
+
+            process.waiting_on = target
+            process._resume_callback = resume
+            target.add_callback(resume)
+            return
+        raise SimulationError(
+            f"process {process.name!r} yielded unsupported object {target!r}"
+        )
+
+    def _fire_timeout(self, event: LegacyTimerEvent) -> None:
+        if event.pending and not event.abandoned:
+            event.succeed()
+
+    def run(self, until: Optional[float] = None) -> float:
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                at, _seq, callback, args = self._queue[0]
+                if (
+                    args
+                    and isinstance(args[0], LegacyTimerEvent)
+                    and args[0].abandoned
+                ):
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and at > until:
+                    break
+                heapq.heappop(self._queue)
+                if at < self.now:
+                    raise SimulationError("event queue time went backwards")
+                self.now = at
+                if self.profiler is None:
+                    callback(*args)
+                else:
+                    self.profiler.dispatch(callback, args)
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def peek(self) -> Optional[float]:
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def queued_events(self) -> int:
+        return len(self._queue)

@@ -5,6 +5,12 @@ A :class:`Process` wraps a generator and *is itself* a
 (success, with the generator's return value) or raises (failure).  That lets
 one process wait for another simply by yielding it, which is how a
 transaction coordinator waits for its participants.
+
+Waiting is allocation-free: parking on an event appends the process to the
+event's waiter list, and a plain timeout sleep is just a heap entry tagged
+with the process and its current *timer generation*.  Interrupting a sleeper
+bumps the generation, which invalidates the heap entry in place — the engine
+drops it eagerly (see ``Engine._resume_timer``).
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.exceptions import ProcessKilled, SimulationError
-from repro.sim.events import SimEvent
+from repro.sim.events import TIMER_WAIT, SimEvent
 
 
 class Process(SimEvent):
@@ -23,17 +29,20 @@ class Process(SimEvent):
 
     Attributes:
         generator: the underlying generator being stepped.
-        waiting_on: the event this process is currently parked on, if any.
+        waiting_on: the event this process is currently parked on, if any;
+            the :data:`~repro.sim.events.TIMER_WAIT` sentinel during a plain
+            timeout sleep.
     """
 
-    __slots__ = ("generator", "engine", "waiting_on", "_resume_callback")
+    __slots__ = ("generator", "engine", "waiting_on", "_timer_gen", "_timer_armed")
 
     def __init__(self, engine, generator: Generator[Any, Any, Any], name: str = ""):
         super().__init__(name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self.engine = engine
         self.waiting_on: Optional[SimEvent] = None
-        self._resume_callback = None
+        self._timer_gen = 0  # bumped to invalidate an armed sleep
+        self._timer_armed = False  # a live timer entry sits in the heap
 
     @property
     def alive(self) -> bool:
@@ -52,19 +61,22 @@ class Process(SimEvent):
             return
         if exception is None:
             exception = ProcessKilled(f"process {self.name!r} interrupted")
-        if self.waiting_on is None:
+        target = self.waiting_on
+        if target is None:
             raise SimulationError(
                 f"cannot interrupt process {self.name!r}: it is not waiting "
                 "(interrupting the running process is not allowed)"
             )
-        target = self.waiting_on
-        callback = self._resume_callback
         self.waiting_on = None
-        self._resume_callback = None
-        if callback is not None:
-            target.remove_callback(callback)
-        if getattr(target, "abandoned", None) is False:
-            target.abandoned = True  # dead timer: engine drops its entry
+        if target is TIMER_WAIT:
+            # invalidate the sleep: the stale heap entry no longer matches
+            # the generation, and the engine drops it without running it
+            self._timer_gen += 1
+            if self._timer_armed:
+                self._timer_armed = False
+                self.engine._timer_cancelled()
+        else:
+            target.remove_waiter(self)
         self.engine.schedule_now(self.engine._step, self, None, exception)
 
     def kill(self, exception: Optional[BaseException] = None) -> bool:

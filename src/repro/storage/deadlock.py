@@ -12,6 +12,13 @@ A transaction may wait at several lock managers at once (the footnote-2
 parallel-update eager variant issues one replica update per node
 concurrently), so waits are keyed by ``(manager, oid)`` and a transaction's
 outgoing edges are the union over its live waits.
+
+Hot-path design: the union is *not* rebuilt per probe.  The detector keeps
+an aggregated adjacency map ``waiter -> {blocker: refcount}`` updated
+incrementally as waits are set and cleared, so ``blockers_of`` — called for
+every node the DFS visits — is a dict view instead of a set-union loop.
+Managers are keyed by a stable small-int id handed out at registration
+rather than ``id(manager)``, keeping wait keys replay-stable.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class _WaitInfo:
     """One waiting request: where it is queued and whom it blocks on."""
 
@@ -55,6 +62,13 @@ class DeadlockDetector:
 
     def __init__(self, victim_policy: Callable[[List[Any]], Any] = youngest_victim):
         self._waits: Dict[Any, Dict[Tuple[int, int], _WaitInfo]] = {}
+        # incremental adjacency: waiter -> {blocker: live-wait refcount};
+        # a blocker is present iff it blocks the waiter through >= 1 wait
+        self._out: Dict[Any, Dict[Any, int]] = {}
+        self._next_manager_id = 0
+        # ids for managers that cannot carry a ``detector_index`` attribute
+        # (e.g. None / test doubles); real lock managers never land here
+        self._fallback_manager_ids: Dict[int, int] = {}
         self.victim_policy = victim_policy
         self.cycles_found = 0
 
@@ -62,8 +76,29 @@ class DeadlockDetector:
     # graph maintenance (called by lock managers)
     # ------------------------------------------------------------------ #
 
+    def register_manager(self, manager: Any) -> int:
+        """Hand out a stable small-int id for keying this manager's waits.
+
+        Ids are assigned in first-contact order, which is deterministic for
+        a seeded run — unlike ``id(manager)`` memory addresses.
+        """
+        manager_id = self._next_manager_id
+        self._next_manager_id += 1
+        return manager_id
+
     def _key(self, manager: Any, oid: int) -> Tuple[int, int]:
-        return (id(manager), oid)
+        manager_id = getattr(manager, "detector_index", None)
+        if manager_id is None:
+            try:
+                manager_id = manager.detector_index = self.register_manager(manager)
+            except AttributeError:
+                fallback = self._fallback_manager_ids
+                manager_id = fallback.get(id(manager))
+                if manager_id is None:
+                    manager_id = fallback[id(manager)] = self.register_manager(
+                        manager
+                    )
+        return (manager_id, oid)
 
     def set_waits(
         self,
@@ -75,32 +110,60 @@ class DeadlockDetector:
     ) -> None:
         """Record/update one wait of ``waiter`` at ``(manager, oid)``."""
         blocker_set = {b for b in blockers if b is not waiter}
-        self._waits.setdefault(waiter, {})[self._key(manager, oid)] = _WaitInfo(
+        waits = self._waits.get(waiter)
+        if waits is None:
+            waits = self._waits[waiter] = {}
+        key = self._key(manager, oid)
+        old = waits.get(key)
+        if old is not None:
+            self._drop_edges(waiter, old.blockers)
+        waits[key] = _WaitInfo(
             manager=manager, oid=oid, request=request, blockers=blocker_set
         )
+        self._add_edges(waiter, blocker_set)
 
     def clear_wait(self, txn: Any, manager: Any, oid: int) -> None:
         """Remove one wait (the request was granted or cancelled)."""
         waits = self._waits.get(txn)
         if waits is None:
             return
-        waits.pop(self._key(manager, oid), None)
+        info = waits.pop(self._key(manager, oid), None)
+        if info is not None:
+            self._drop_edges(txn, info.blockers)
         if not waits:
             self._waits.pop(txn, None)
 
     def clear_waits(self, txn: Any) -> None:
         """Remove every wait of ``txn`` (commit/abort path)."""
-        self._waits.pop(txn, None)
+        if self._waits.pop(txn, None) is not None:
+            self._out.pop(txn, None)
+
+    def _add_edges(self, waiter: Any, blockers: Set[Any]) -> None:
+        if not blockers:
+            return
+        counts = self._out.get(waiter)
+        if counts is None:
+            counts = self._out[waiter] = {}
+        for blocker in blockers:
+            counts[blocker] = counts.get(blocker, 0) + 1
+
+    def _drop_edges(self, waiter: Any, blockers: Set[Any]) -> None:
+        counts = self._out.get(waiter)
+        if counts is None:
+            return
+        for blocker in blockers:
+            remaining = counts.get(blocker, 0) - 1
+            if remaining > 0:
+                counts[blocker] = remaining
+            else:
+                counts.pop(blocker, None)
+        if not counts:
+            del self._out[waiter]
 
     def blockers_of(self, txn: Any) -> Set[Any]:
         """Union of blockers over the transaction's live waits."""
-        waits = self._waits.get(txn)
-        if not waits:
-            return set()
-        out: Set[Any] = set()
-        for info in waits.values():
-            out |= info.blockers
-        return out
+        counts = self._out.get(txn)
+        return set(counts) if counts else set()
 
     def _ordered_blockers(self, txn: Any) -> List[Any]:
         """Blockers in a deterministic order.
@@ -109,7 +172,10 @@ class DeadlockDetector:
         make cycle exploration — and therefore victim selection — depend on
         memory addresses.  Ordering by ``txn_id`` keeps every run replayable.
         """
-        return sorted(self.blockers_of(txn), key=lambda t: t.txn_id)
+        counts = self._out.get(txn)
+        if not counts:
+            return []
+        return sorted(counts, key=lambda t: t.txn_id)
 
     # ------------------------------------------------------------------ #
     # detection

@@ -102,6 +102,9 @@ class LockManager:
         self.telemetry = telemetry
         self._table: Dict[int, _LockEntry] = {}
         self._held_by_txn: Dict[Any, set] = {}
+        # txns with queued (blocked) requests, and on which objects: lets
+        # release_all skip the whole-table scan in the common no-wait case
+        self._queued_by_txn: Dict[Any, set] = {}
 
     # ------------------------------------------------------------------ #
     # acquisition
@@ -122,8 +125,19 @@ class LockManager:
         queue.  (Concurrent requests for the same object at *different*
         nodes — the parallel-update eager mode — are fine.)
         """
-        entry = self._table.setdefault(oid, _LockEntry())
-        if any(request.txn is txn for request in entry.queue):
+        entry = self._table.get(oid)
+        if entry is None:
+            # uncontended fast path: first touch of a free object — grant
+            # without building queues or consulting the deadlock detector
+            # (entries are reaped once empty, so "absent" means "free")
+            self._table[oid] = entry = _LockEntry()
+            entry.holders[txn] = mode
+            held_oids = self._held_by_txn.get(txn)
+            if held_oids is None:
+                held_oids = self._held_by_txn[txn] = set()
+            held_oids.add(oid)
+            return None
+        if entry.queue and any(request.txn is txn for request in entry.queue):
             raise LockError(
                 f"transaction {txn!r} already has a queued request for "
                 f"object {oid} at node {self.node_id}"
@@ -145,6 +159,7 @@ class LockManager:
             entry.queue.insert(0, request)
         else:
             entry.queue.append(request)
+        self._note_queued(txn, oid)
         if self.on_wait is not None:
             self.on_wait(txn)
         self._register_wait(entry, oid, request)
@@ -195,7 +210,7 @@ class LockManager:
 
         Called at commit and abort (strict 2PL: nothing is released early).
         """
-        oids = self._held_by_txn.pop(txn, set())
+        oids = self._held_by_txn.pop(txn, ())
         for oid in oids:
             entry = self._table.get(oid)
             if entry is None:
@@ -203,17 +218,21 @@ class LockManager:
             entry.holders.pop(txn, None)
         # drop any still-queued requests from this txn (abort path); their
         # wait events fail so concurrently-parked requesters (parallel-update
-        # transactions) wake up instead of leaking
-        for oid, entry in list(self._table.items()):
-            dropped = [req for req in entry.queue if req.txn is txn]
-            if not dropped:
-                continue
-            entry.queue[:] = [req for req in entry.queue if req.txn is not txn]
-            for request in dropped:
-                self.detector.clear_wait(txn, self, oid)
-                if request.event.pending:
-                    request.event.fail(DeadlockAbort("owner aborted"))
-            self._promote_waiters(oid)
+        # transactions) wake up instead of leaking.  The queued-by-txn index
+        # makes the common case (nothing queued) free; when something *is*
+        # queued the table is walked in insertion order, exactly as before,
+        # so promotion order is unchanged.
+        if self._queued_by_txn.pop(txn, None):
+            for oid, entry in list(self._table.items()):
+                dropped = [req for req in entry.queue if req.txn is txn]
+                if not dropped:
+                    continue
+                entry.queue[:] = [req for req in entry.queue if req.txn is not txn]
+                for request in dropped:
+                    self.detector.clear_wait(txn, self, oid)
+                    if request.event.pending:
+                        request.event.fail(DeadlockAbort("owner aborted"))
+                self._promote_waiters(oid)
         self.detector.clear_waits(txn)
         for oid in oids:
             self._promote_waiters(oid)
@@ -235,6 +254,7 @@ class LockManager:
                     before_request=request,
                 ):
                     entry.queue.remove(request)
+                    self._note_dequeued(request.txn, oid)
                     self._grant(entry, request.txn, oid, request.mode)
                     self.detector.clear_wait(request.txn, self, oid)
                     request.event.succeed()
@@ -243,6 +263,19 @@ class LockManager:
         self._refresh_waits(entry, oid)
         if not entry.holders and not entry.queue:
             self._table.pop(oid, None)
+
+    def _note_queued(self, txn: Any, oid: int) -> None:
+        queued = self._queued_by_txn.get(txn)
+        if queued is None:
+            queued = self._queued_by_txn[txn] = set()
+        queued.add(oid)
+
+    def _note_dequeued(self, txn: Any, oid: int) -> None:
+        queued = self._queued_by_txn.get(txn)
+        if queued is not None:
+            queued.discard(oid)
+            if not queued:
+                del self._queued_by_txn[txn]
 
     # ------------------------------------------------------------------ #
     # waits-for bookkeeping
@@ -286,6 +319,7 @@ class LockManager:
         if entry is None or request not in entry.queue:
             raise LockError(f"request for oid {oid} not queued")
         entry.queue.remove(request)
+        self._note_dequeued(request.txn, oid)
         self.detector.clear_wait(request.txn, self, oid)
         if request.event.pending:
             request.event.fail(exc)

@@ -1,0 +1,132 @@
+"""Fixed-seed determinism fingerprints for the five strategies.
+
+The kernel refactor contract is that seeded runs stay bit-for-bit identical
+at the metrics level.  This module defines a canonical set of small
+configurations (every strategy, with and without faults) and a
+``fingerprint`` function that reduces one run to a comparable record:
+the full metrics dict, the end-state divergence, the final clock, and a
+SHA-256 over the formatted trace event sequence.
+
+``tests/data/determinism_golden.json`` holds the committed fingerprints.
+``tests/test_determinism_suite.py`` asserts (a) two runs of the same config
+are byte-identical and (b) the current kernel still matches the goldens.
+
+Regenerate the goldens after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python -m tests.determinism_helpers --write
+
+and explain the regeneration in the commit message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.analytic.parameters import ModelParameters
+from repro.faults.plan import FaultPlan
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.experiment import STRATEGIES
+from repro.network.message import reset_message_ids
+from repro.sim.tracing import Tracer
+from repro.txn.transaction import reset_txn_ids
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "determinism_golden.json"
+
+#: small but contended enough that every counter family ticks; the nonzero
+#: message delay keeps real traffic on the wire so the fault tap matters
+_PARAMS = ModelParameters(
+    db_size=60, nodes=3, tps=4.0, actions=3, action_time=0.005,
+    message_delay=0.002,
+)
+_DURATION = 15.0
+_SEED = 42
+_FAULT_SPEC = "drop=0.05,partition=2,crash=2"
+_FAULT_SEED = 1
+
+
+def case_names():
+    """Deterministic list of case labels: strategy × {clean, faulted}."""
+    names = []
+    for strategy in STRATEGIES:
+        names.append(f"{strategy}/clean")
+        names.append(f"{strategy}/faulted")
+    return names
+
+
+def _case_params(strategy: str) -> ModelParameters:
+    if strategy == "two-tier":
+        # mobile day-cycles engage the tentative/acceptance machinery
+        return _PARAMS.with_(disconnect_time=3.0, time_between_disconnects=3.0)
+    return _PARAMS
+
+
+def _build_config(name: str, tracer: Optional[Tracer]) -> ExperimentConfig:
+    strategy, variant = name.split("/")
+    params = _case_params(strategy)
+    faults = None
+    if variant == "faulted":
+        num_nodes = params.nodes + (1 if strategy == "two-tier" else 0)
+        faults = FaultPlan.from_spec(
+            _FAULT_SPEC,
+            num_nodes=num_nodes,
+            duration=_DURATION,
+            fault_seed=_FAULT_SEED,
+        )
+    return ExperimentConfig(
+        strategy=strategy,
+        params=params,
+        duration=_DURATION,
+        seed=_SEED,
+        faults=faults,
+        tracer=tracer,
+    )
+
+
+def fingerprint(name: str) -> Dict[str, Any]:
+    """Run one canonical case and reduce it to a comparable record.
+
+    Txn and message ids are process-global counters and appear in trace
+    detail; resetting both makes each fingerprint independent of whatever
+    ran earlier in the process (other cases, other tests).
+    """
+    reset_txn_ids()
+    reset_message_ids()
+    tracer = Tracer(limit=1_000_000)
+    result = run_experiment(_build_config(name, tracer))
+    trace_lines = "\n".join(e.format() for e in tracer.events())
+    return {
+        "metrics": {k: v for k, v in sorted(result.metrics.as_dict().items())},
+        "divergence": result.divergence,
+        "end_time": round(result.end_time, 9),
+        "trace_events": len(tracer),
+        "trace_sha256": hashlib.sha256(trace_lines.encode()).hexdigest(),
+    }
+
+
+def load_golden() -> Dict[str, Any]:
+    with GOLDEN_PATH.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_golden() -> Dict[str, Any]:
+    golden = {name: fingerprint(name) for name in case_names()}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return golden
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" not in sys.argv:
+        raise SystemExit(
+            "usage: python -m tests.determinism_helpers --write\n"
+            "(regenerates tests/data/determinism_golden.json)"
+        )
+    golden = write_golden()
+    print(f"wrote {len(golden)} fingerprints to {GOLDEN_PATH}")

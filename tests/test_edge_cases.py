@@ -4,7 +4,6 @@ import pytest
 
 from repro.exceptions import ProcessKilled, ScopeViolationError
 from repro.sim import Engine
-from repro.sim.events import TimerEvent
 
 
 class TestEngineEdges:
@@ -40,13 +39,23 @@ class TestEngineEdges:
         assert engine.now == 10.0
         assert p.value == "killed"
 
-    def test_timer_event_direct_abandon(self):
-        event = TimerEvent()
-        assert not event.abandoned
-        event.abandoned = True
+    def test_stale_timer_generation_is_ignored(self):
+        """A timer entry whose generation no longer matches must not step."""
         engine = Engine()
-        engine._fire_timeout(event)  # abandoned: must not settle
-        assert event.pending
+
+        def sleeper():
+            yield engine.timeout(1.0)
+            return "woke"
+
+        p = engine.process(sleeper())
+        engine.run(until=0.5)  # parked on the timer now
+        stale_gen = p._timer_gen
+        p.interrupt()  # bumps the generation, invalidating the heap entry
+        live = engine.queued_events
+        engine._resume_timer(p, stale_gen)  # direct stale fire: must no-op
+        assert engine.queued_events == live  # no step was scheduled
+        engine.run()
+        assert isinstance(p.exception, ProcessKilled)
 
     def test_deeply_nested_yield_from_chain(self):
         engine = Engine()
