@@ -13,6 +13,7 @@ from repro.metrics.report import format_table
 from repro.replication.eager_group import EagerGroupSystem
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import TransactionProfile, write_op_factory
+from repro.replication import SystemSpec
 
 DB = 200
 DURATION = 150.0
@@ -22,8 +23,9 @@ SKEWS = [(0.0, 1.0), (0.05, 10.0), (0.05, 50.0)]  # (hot_fraction, hot_weight)
 def simulate():
     rows = []
     for hot_fraction, hot_weight in SKEWS:
-        system = EagerGroupSystem(num_nodes=3, db_size=DB, action_time=0.01,
-                                  seed=2)
+        system = EagerGroupSystem(
+            SystemSpec(num_nodes=3, db_size=DB, action_time=0.01, seed=2),
+        )
         profile = TransactionProfile(
             actions=3, db_size=DB, op_factory=write_op_factory,
             hot_fraction=hot_fraction, hot_weight=hot_weight,

@@ -20,14 +20,17 @@ from repro.metrics.report import format_table
 from repro.replication.lazy_master import LazyMasterSystem
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import uniform_update_profile
+from repro.replication import SystemSpec
 
 DURATION = 120.0
 
 
 def run_variant(master_broadcasts: bool):
-    system = LazyMasterSystem(num_nodes=4, db_size=40, action_time=0.002,
-                              message_delay=0.3, seed=6,
-                              master_broadcasts=master_broadcasts)
+    system = LazyMasterSystem(
+        SystemSpec(num_nodes=4, db_size=40, action_time=0.002,
+                   message_delay=0.3, seed=6),
+        master_broadcasts=master_broadcasts,
+    )
     workload = WorkloadGenerator(
         system, uniform_update_profile(actions=3, db_size=40), tps=3.0
     )

@@ -19,6 +19,7 @@ from repro.metrics.report import format_table
 from repro.replication.eager_group import EagerGroupSystem
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import uniform_update_profile
+from repro.replication import SystemSpec
 
 DURATION = 200.0
 
@@ -27,8 +28,8 @@ def run_mode(parallel: bool):
     rates = []
     for nodes in NODE_SWEEP:
         system = EagerGroupSystem(
-            num_nodes=nodes, db_size=EAGER_REGIME.db_size,
-            action_time=EAGER_REGIME.action_time, seed=1,
+            SystemSpec(num_nodes=nodes, db_size=EAGER_REGIME.db_size,
+                       action_time=EAGER_REGIME.action_time, seed=1),
             parallel_updates=parallel,
         )
         workload = WorkloadGenerator(

@@ -14,6 +14,7 @@ from repro.metrics.report import format_table
 from repro.replication.eager_group import EagerGroupSystem
 from repro.replication.quorum import QuorumConfig
 from repro.txn.ops import IncrementOp
+from repro.replication import SystemSpec
 
 
 def availability_table():
@@ -30,8 +31,10 @@ def availability_table():
 
 
 def throughput_with_dark_replica(quorum: bool):
-    system = EagerGroupSystem(num_nodes=3, db_size=20, action_time=0.001,
-                              quorum=quorum, seed=0)
+    system = EagerGroupSystem(
+        SystemSpec(num_nodes=3, db_size=20, action_time=0.001, seed=0),
+        quorum=quorum,
+    )
     system.network.disconnect(2)
     for i in range(50):
         system.submit(i % 2, [IncrementOp(i % 20, 1)])

@@ -19,6 +19,7 @@ from repro.replication.lazy_master import LazyMasterSystem
 from repro.txn.ops import ReadOp, WriteOp
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import TransactionProfile
+from repro.replication import SystemSpec
 
 DB = 60
 DURATION = 150.0
@@ -32,8 +33,10 @@ def read_write_factory(oid: int, rng: random.Random):
 
 
 def run(lock_reads: bool):
-    system = LazyMasterSystem(num_nodes=3, db_size=DB, action_time=0.01,
-                              seed=3, lock_reads=lock_reads)
+    system = LazyMasterSystem(
+        SystemSpec(num_nodes=3, db_size=DB, action_time=0.01, seed=3,
+                   lock_reads=lock_reads),
+    )
     profile = TransactionProfile(actions=4, db_size=DB,
                                  op_factory=read_write_factory)
     workload = WorkloadGenerator(system, profile, tps=4.0)

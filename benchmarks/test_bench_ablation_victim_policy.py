@@ -13,13 +13,16 @@ from repro.replication.eager_group import EagerGroupSystem
 from repro.storage.deadlock import oldest_victim, youngest_victim
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import uniform_update_profile
+from repro.replication import SystemSpec
 
 DURATION = 150.0
 
 
 def run_policy(policy):
-    system = EagerGroupSystem(num_nodes=4, db_size=60, action_time=0.01,
-                              seed=5, victim_policy=policy)
+    system = EagerGroupSystem(
+        SystemSpec(num_nodes=4, db_size=60, action_time=0.01, seed=5,
+                   victim_policy=policy),
+    )
     workload = WorkloadGenerator(
         system, uniform_update_profile(actions=3, db_size=60), tps=4.0
     )

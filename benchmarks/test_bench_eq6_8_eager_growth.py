@@ -14,6 +14,7 @@ from repro.replication.eager_group import EagerGroupSystem
 from repro.txn.ops import WriteOp
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import uniform_update_profile
+from repro.replication import SystemSpec
 
 ACTIONS = 3
 ACTION_TIME = 0.01
@@ -25,16 +26,19 @@ def measure_growth():
     rows = []
     for nodes in [1, 2, 4, 8]:
         # one probe transaction measures size/duration without interference
-        probe_system = EagerGroupSystem(num_nodes=nodes, db_size=50,
-                                        action_time=ACTION_TIME)
+        probe_system = EagerGroupSystem(
+            SystemSpec(num_nodes=nodes, db_size=50, action_time=ACTION_TIME),
+        )
         p = probe_system.submit(0, [WriteOp(i, 1) for i in range(ACTIONS)])
         probe_system.run()
         size = probe_system.metrics.actions
         duration = p.value.duration
 
         # a loaded run measures the aggregate action rate
-        system = EagerGroupSystem(num_nodes=nodes, db_size=200,
-                                  action_time=0.0, seed=nodes)
+        system = EagerGroupSystem(
+            SystemSpec(num_nodes=nodes, db_size=200, action_time=0.0,
+                       seed=nodes),
+        )
         workload = WorkloadGenerator(
             system, uniform_update_profile(actions=ACTIONS, db_size=200),
             tps=TPS,

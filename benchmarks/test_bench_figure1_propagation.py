@@ -17,6 +17,7 @@ from repro.metrics.report import format_table
 from repro.replication.eager_group import EagerGroupSystem
 from repro.replication.lazy_group import LazyGroupSystem
 from repro.txn.ops import WriteOp
+from repro.replication import SystemSpec
 
 ACTION_TIME = 0.01
 OPS = [WriteOp(0, 1), WriteOp(1, 2), WriteOp(2, 3)]  # Write A, B, C
@@ -25,17 +26,23 @@ OPS = [WriteOp(0, 1), WriteOp(1, 2), WriteOp(2, 3)]  # Write A, B, C
 def run_figure1():
     rows = []
 
-    single = EagerGroupSystem(num_nodes=1, db_size=10, action_time=ACTION_TIME)
+    single = EagerGroupSystem(
+        SystemSpec(num_nodes=1, db_size=10, action_time=ACTION_TIME),
+    )
     p = single.submit(0, list(OPS))
     single.run()
     rows.append(("single-node", 1, single.metrics.actions, p.value.duration))
 
-    eager = EagerGroupSystem(num_nodes=3, db_size=10, action_time=ACTION_TIME)
+    eager = EagerGroupSystem(
+        SystemSpec(num_nodes=3, db_size=10, action_time=ACTION_TIME),
+    )
     p = eager.submit(0, list(OPS))
     eager.run()
     rows.append(("eager (N=3)", 1, eager.metrics.actions, p.value.duration))
 
-    lazy = LazyGroupSystem(num_nodes=3, db_size=10, action_time=ACTION_TIME)
+    lazy = LazyGroupSystem(
+        SystemSpec(num_nodes=3, db_size=10, action_time=ACTION_TIME),
+    )
     p = lazy.submit(0, list(OPS))
     lazy.run()
     lazy_txns = lazy.metrics.commits + lazy.metrics.replica_updates

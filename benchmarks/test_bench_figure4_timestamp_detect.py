@@ -14,6 +14,7 @@ caught (no silent overwrite of a concurrent committed version).
 from repro.metrics.report import format_table
 from repro.replication.lazy_group import LazyGroupSystem
 from repro.txn.ops import WriteOp
+from repro.replication import SystemSpec
 
 TRIALS = 40
 
@@ -23,8 +24,10 @@ def run_figure4():
     detected = 0
     silent_losses = 0
     for trial in range(TRIALS):
-        system = LazyGroupSystem(num_nodes=3, db_size=4, action_time=0.001,
-                                 message_delay=0.2, seed=trial)
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=3, db_size=4, action_time=0.001,
+                       message_delay=0.2, seed=trial),
+        )
         # node 0 and node 1 race on object 0; object 2 is uncontended
         system.submit(0, [WriteOp(0, 100 + trial)])
         system.submit(1, [WriteOp(0, 200 + trial)])

@@ -16,13 +16,17 @@ import pytest
 from repro.core import NonNegativeOutputs, TwoTierSystem
 from repro.metrics.report import format_table
 from repro.txn.ops import IncrementOp
+from repro.replication import SystemSpec
 
 BALANCE = 100
 
 
 def run_flow():
-    system = TwoTierSystem(num_base=2, num_mobile=2, db_size=10,
-                           action_time=0.001, initial_value=BALANCE, seed=0)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=4, db_size=10, action_time=0.001,
+                   initial_value=BALANCE, seed=0),
+        num_base=2,
+    )
     m2, m3 = system.mobile(2), system.mobile(3)
 
     # both mobiles go dark and work tentatively against object 0

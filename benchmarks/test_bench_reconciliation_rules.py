@@ -21,6 +21,7 @@ from repro.replication.reconciliation import (
     ValuePriorityWins,
 )
 from repro.txn.ops import IncrementOp
+from repro.replication import SystemSpec
 
 NODES = 3
 TRIALS = 20
@@ -32,10 +33,12 @@ EXPECTED_TOTAL = sum(range(1, NODES + 1))
 def run_rule(rule, propagate_ops=False):
     reconciliations = lost = diverged = 0
     for trial in range(TRIALS):
-        system = LazyGroupSystem(num_nodes=NODES, db_size=2,
-                                 action_time=0.001, message_delay=0.5,
-                                 seed=trial, rule=rule,
-                                 propagate_ops=propagate_ops)
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=NODES, db_size=2, action_time=0.001,
+                       message_delay=0.5, seed=trial),
+            rule=rule,
+            propagate_ops=propagate_ops,
+        )
         for origin in range(NODES):
             system.submit(origin, [IncrementOp(0, origin + 1)])
         system.run()

@@ -14,6 +14,7 @@ from repro.replication.eager_master import EagerMasterSystem
 from repro.replication.lazy_group import LazyGroupSystem
 from repro.replication.lazy_master import LazyMasterSystem
 from repro.txn.ops import IncrementOp
+from repro.replication import SystemSpec
 
 N = 3
 
@@ -34,8 +35,10 @@ def measure_taxonomy():
         rows.append((name, txns, ownership))
 
     # two-tier: tentative at the mobile + base txn + replica updates
-    system = TwoTierSystem(num_base=1, num_mobile=N - 1, db_size=10,
-                           action_time=0.001)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=1 + N - 1, db_size=10, action_time=0.001),
+        num_base=1,
+    )
     system.disconnect_mobile(1)
     system.mobile(1).submit_tentative([IncrementOp(5, 1)], AlwaysAccept())
     system.run()

@@ -19,6 +19,7 @@ from repro.metrics.report import format_table
 from repro.replication.eager_group import EagerGroupSystem
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.tpcb import TpcbLayout, TpcbProfile, branch_balance_invariant
+from repro.replication import SystemSpec
 
 NODES = [2, 3, 4]
 TPS = 3.0
@@ -30,9 +31,10 @@ def simulate():
     for nodes in NODES:
         layout = TpcbLayout(branches=nodes)  # DB grows with the cluster
         profile = TpcbProfile(layout, remote_fraction=0.15)
-        system = EagerGroupSystem(num_nodes=nodes, db_size=layout.db_size,
-                                  action_time=0.002, seed=1,
-                                  retry_deadlocks=True)
+        system = EagerGroupSystem(
+            SystemSpec(num_nodes=nodes, db_size=layout.db_size,
+                       action_time=0.002, seed=1, retry_deadlocks=True),
+        )
         workload = WorkloadGenerator(system, profile, tps=TPS)
         workload.start(DURATION)
         system.run()

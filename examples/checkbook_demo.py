@@ -17,7 +17,7 @@ Run::
     python examples/checkbook_demo.py
 """
 
-from repro import IncrementOp
+from repro import IncrementOp, SystemSpec
 from repro.replication.lazy_group import LazyGroupSystem
 from repro.replication.reconciliation import MergeCommutative
 from repro.workload.checkbook import CheckbookScenario
@@ -36,8 +36,10 @@ def banner(title: str) -> None:
 def lazy_group_timestamps() -> None:
     banner("1. LAZY GROUP, timestamp reconciliation (the lost update)")
     # three replicas: your checkbook (0), spouse's checkbook (1), bank (2)
-    system = LazyGroupSystem(num_nodes=3, db_size=1, action_time=0.001,
-                             message_delay=5.0, initial_value=BALANCE)
+    system = LazyGroupSystem(
+        SystemSpec(num_nodes=3, db_size=1, action_time=0.001,
+                   message_delay=5.0, initial_value=BALANCE),
+    )
     system.submit(0, [IncrementOp(0, -YOUR_CHECK)])
     system.submit(1, [IncrementOp(0, -SPOUSE_CHECK)])
     system.run()
@@ -54,9 +56,12 @@ def lazy_group_timestamps() -> None:
 
 def lazy_group_commutative() -> None:
     banner("2. LAZY GROUP, commutative merge (convergent but overdrawn)")
-    system = LazyGroupSystem(num_nodes=3, db_size=1, action_time=0.001,
-                             message_delay=5.0, initial_value=BALANCE,
-                             rule=MergeCommutative(), propagate_ops=True)
+    system = LazyGroupSystem(
+        SystemSpec(num_nodes=3, db_size=1, action_time=0.001,
+                   message_delay=5.0, initial_value=BALANCE),
+        rule=MergeCommutative(),
+        propagate_ops=True,
+    )
     system.submit(0, [IncrementOp(0, -YOUR_CHECK)])
     system.submit(1, [IncrementOp(0, -SPOUSE_CHECK)])
     system.run()

@@ -17,6 +17,7 @@ from repro import (
     IncrementOp,
     ModelParameters,
     NonNegativeOutputs,
+    SystemSpec,
     TwoTierSystem,
     eager,
 )
@@ -47,8 +48,9 @@ def the_danger_simulated() -> None:
     print("=" * 72)
     rows = []
     for nodes in [2, 4, 6]:
-        system = EagerGroupSystem(num_nodes=nodes, db_size=80,
-                                  action_time=0.01, seed=1)
+        system = EagerGroupSystem(
+            SystemSpec(num_nodes=nodes, db_size=80, action_time=0.01, seed=1),
+        )
         workload = WorkloadGenerator(
             system, uniform_update_profile(actions=3, db_size=80), tps=4.0
         )
@@ -69,8 +71,11 @@ def the_solution() -> None:
     print("=" * 72)
     print("3. THE SOLUTION: two-tier replication (the checkbook, fixed)")
     print("=" * 72)
-    system = TwoTierSystem(num_base=1, num_mobile=2, db_size=1,
-                           action_time=0.001, initial_value=1000)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=3, db_size=1, action_time=0.001,
+                   initial_value=1000),
+        num_base=1,
+    )
     you, spouse = system.mobile(1), system.mobile(2)
 
     # both of you go offline and write big checks against the same $1000
@@ -106,8 +111,10 @@ def commutative_bonus() -> None:
     print("=" * 72)
     print("4. SEMANTIC TRICKS: commutative transactions never reconcile")
     print("=" * 72)
-    system = TwoTierSystem(num_base=1, num_mobile=3, db_size=5,
-                           action_time=0.001, initial_value=0)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=4, db_size=5, action_time=0.001, initial_value=0),
+        num_base=1,
+    )
     for mid in system.mobiles:
         system.disconnect_mobile(mid)
     for mid, mobile in system.mobiles.items():

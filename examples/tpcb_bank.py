@@ -18,6 +18,7 @@ Run::
     python examples/tpcb_bank.py
 """
 
+from repro import SystemSpec
 from repro.replication.lazy_group import LazyGroupSystem
 from repro.replication.lazy_master import LazyMasterSystem
 from repro.replication.reconciliation import MergeCommutative
@@ -59,21 +60,25 @@ def main() -> None:
     ok_master = run(
         "1. lazy-master",
         lambda layout: LazyMasterSystem(
-            num_nodes=BRANCHES, db_size=layout.db_size, action_time=0.001,
-            seed=1, retry_deadlocks=True),
+            SystemSpec(num_nodes=BRANCHES, db_size=layout.db_size,
+                       action_time=0.001, seed=1, retry_deadlocks=True),
+        ),
     )
     ok_timestamp = run(
         "2. lazy-group, timestamp reconciliation",
         lambda layout: LazyGroupSystem(
-            num_nodes=BRANCHES, db_size=layout.db_size, action_time=0.001,
-            message_delay=0.5, seed=1),
+            SystemSpec(num_nodes=BRANCHES, db_size=layout.db_size,
+                       action_time=0.001, message_delay=0.5, seed=1),
+        ),
     )
     ok_merge = run(
         "3. lazy-group, commutative merge",
         lambda layout: LazyGroupSystem(
-            num_nodes=BRANCHES, db_size=layout.db_size, action_time=0.001,
-            message_delay=0.5, seed=1, rule=MergeCommutative(),
-            propagate_ops=True),
+            SystemSpec(num_nodes=BRANCHES, db_size=layout.db_size,
+                       action_time=0.001, message_delay=0.5, seed=1),
+            rule=MergeCommutative(),
+            propagate_ops=True,
+        ),
     )
 
     print("Summary: master serialization and commutative merging both keep")

@@ -16,9 +16,11 @@ Quick start::
     print(eager.total_deadlock_rate(p.with_(nodes=10))
           / eager.total_deadlock_rate(p))     # -> 1000.0
 
-    from repro import TwoTierSystem, IncrementOp, NonNegativeOutputs
+    from repro import (
+        IncrementOp, NonNegativeOutputs, SystemSpec, TwoTierSystem,
+    )
 
-    system = TwoTierSystem(num_base=2, num_mobile=1, db_size=100)
+    system = TwoTierSystem(SystemSpec(num_nodes=3, db_size=100), num_base=2)
     mobile = system.mobile(2)
     system.disconnect_mobile(2)
     mobile.submit_tentative([IncrementOp(7, -50)], NonNegativeOutputs())
@@ -35,6 +37,7 @@ from repro.analytic import (
     eager,
     lazy_group,
     lazy_master,
+    partial,
     single_node,
     two_tier,
 )
@@ -62,11 +65,13 @@ from repro.harness import (
     run_experiment,
 )
 from repro.metrics import Metrics, summarize
+from repro.placement import FullReplication, HashShardPlacement, Placement
 from repro.replication import (
     EagerGroupSystem,
     EagerMasterSystem,
     LazyGroupSystem,
     LazyMasterSystem,
+    SystemSpec,
 )
 from repro.sim import Engine, RandomSource
 from repro.txn import (
@@ -88,6 +93,7 @@ __all__ = [
     "lazy_group",
     "lazy_master",
     "two_tier",
+    "partial",
     # simulation & measurement
     "Engine",
     "RandomSource",
@@ -110,10 +116,15 @@ __all__ = [
     "MultiplyOp",
     "AppendOp",
     # strategies
+    "SystemSpec",
     "EagerGroupSystem",
     "EagerMasterSystem",
     "LazyGroupSystem",
     "LazyMasterSystem",
+    # placement
+    "Placement",
+    "FullReplication",
+    "HashShardPlacement",
     # two-tier
     "TwoTierSystem",
     "MobileNode",

@@ -16,6 +16,9 @@ layout follows the paper's sections:
 * :mod:`~repro.analytic.two_tier` — derived rates for the proposed two-tier
   scheme (base transactions behave per equation 19; reconciliation rate is
   the acceptance-failure rate, zero when all transactions commute).
+* :mod:`~repro.analytic.partial` — the danger curves re-derived with a
+  replication-factor axis ``k``: partial replication softens equation 12's
+  cubic to ``Nodes^2 x k``.
 * :mod:`~repro.analytic.refinements` — exact (non-linearised) versions of
   the probability approximations, for checking the approximations' validity
   region.
@@ -31,6 +34,7 @@ from repro.analytic import (
     eager,
     lazy_group,
     lazy_master,
+    partial,
     refinements,
     single_node,
     two_tier,
@@ -45,6 +49,7 @@ __all__ = [
     "lazy_group",
     "lazy_master",
     "two_tier",
+    "partial",
     "dilation",
     "refinements",
     "fit_exponent",

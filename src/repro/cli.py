@@ -38,6 +38,7 @@ from repro.analytic import (
     eager,
     lazy_group,
     lazy_master,
+    partial,
     two_tier,
 )
 from repro.analytic.presets import PRESETS, preset
@@ -140,6 +141,16 @@ def cmd_danger(args: argparse.Namespace) -> int:
         ("lazy-master deadlocks/s (eq 19)", lazy_master.deadlock_rate),
         ("two-tier base deadlocks/s", two_tier.base_deadlock_rate),
     ]
+    placement = _placement_spec(args)
+    k = getattr(placement, "replication_factor", None)
+    if k is not None:
+        # partial-replication analogues alongside the full-replication laws
+        curves += [
+            (f"partial eager deadlocks/s (k={k})",
+             lambda p, k=k: partial.deadlock_rate(p, k)),
+            (f"partial lazy-group reconciliations/s (k={k})",
+             lambda p, k=k: partial.reconciliation_rate(p, k)),
+        ]
     for label, fn in curves:
         result = sweep(fn, params, "nodes", node_axis)
         print(format_series(result.xs, result.ys, x_label="nodes",
@@ -166,6 +177,7 @@ def _print_measured_danger(args: argparse.Namespace, params: ModelParameters,
         values=tuple(node_axis),
         seeds=tuple(range(args.seeds)),
         duration=args.duration,
+        placement=getattr(args, "placement", None),
     )
     outcome = run_campaign(campaign, jobs=args.jobs,
                            cache_dir=args.cache_dir,
@@ -196,6 +208,23 @@ def _fault_plan(args: argparse.Namespace, params: ModelParameters):
         duration=args.duration,
         fault_seed=args.fault_seed,
     )
+
+
+def _add_placement_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--placement", default=None, metavar="SPEC",
+                        help="replica placement spec: 'full' (default: "
+                        "every node holds every object) or "
+                        "'hash:k=<replicas>[,seed=<n>]' for rendezvous-"
+                        "hashed partial replication (e.g. hash:k=3)")
+
+
+def _placement_spec(args: argparse.Namespace):
+    """Parse the --placement flag into a Placement spec (None = full)."""
+    if not getattr(args, "placement", None):
+        return None
+    from repro.placement import Placement
+
+    return Placement.from_spec(args.placement)
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -232,6 +261,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             faults=_fault_plan(args, params),
             tracer=tracer,
             profiler=profiler,
+            placement=_placement_spec(args),
         )
     )
     print(format_table(
@@ -246,6 +276,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         title="raw counters",
     ))
     print(f"\ndivergence after drain: {result.divergence}")
+    resident = result.extra.get("resident_objects")
+    if args.placement and resident:
+        print(f"resident objects/node: max {resident['max']} "
+              f"mean {resident['mean']:.1f} of db_size {resident['db_size']} "
+              f"(replication factor {resident['replication_factor']})")
     if result.extra.get("fault_stats"):
         print(format_table(
             ["fault", "count"],
@@ -507,6 +542,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         faults=args.faults,
         fault_seed=args.fault_seed,
         sample_interval=sample_interval,
+        placement=args.placement,
     )
     cache_dir = None if args.no_cache else args.cache_dir
     outcome = run_campaign(
@@ -585,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="virtual seconds per measured run")
     p_danger.add_argument("--jobs", type=int, default=1,
                           help="worker processes for --measure (0 = inline)")
+    _add_placement_argument(p_danger)
     p_danger.add_argument("--cache-dir", default=None, metavar="PATH",
                           help="content-hash result cache for --measure")
     p_danger.set_defaults(fn=cmd_danger)
@@ -604,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--trace-out", default=None, metavar="PATH",
                        help="export the trace (requires --trace) as "
                        "Chrome/Perfetto JSON to PATH")
+    _add_placement_argument(p_sim)
     p_sim.add_argument("--profile", action="store_true",
                        help="print the engine dispatch hot-spot table "
                        "after the run")
@@ -701,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--series-out", default=None, metavar="DIR",
                          help="write per-cell telemetry time-series JSON "
                          "files into DIR (implies sampling)")
+    _add_placement_argument(p_sweep)
     p_sweep.add_argument("--sample-interval", type=float, default=None,
                          metavar="SEC",
                          help="telemetry window in virtual seconds "

@@ -30,7 +30,7 @@ from repro.exceptions import (
     ScopeViolationError,
 )
 from repro.network.message import Message
-from repro.replication.base import NodeContext
+from repro.replication.base import NodeContext, SystemSpec
 from repro.replication.lazy_master import LazyMasterSystem
 from repro.txn.ops import Operation
 
@@ -38,57 +38,87 @@ from repro.txn.ops import Operation
 class TwoTierSystem(LazyMasterSystem):
     """Two-tier replication: base tier + mobile tier.
 
-    Args:
-        num_base: always-connected base nodes (ids ``0 .. num_base-1``).
-        num_mobile: mobile nodes (ids ``num_base .. num_base+num_mobile-1``).
-        db_size: database objects; mastered round-robin over base nodes
-            unless overridden by ``mobile_mastered``.
-        mobile_mastered: optional map oid -> mobile node id for items owned
-            by mobiles ("A mobile node may be the master of some data
-            items").
-        (remaining args as for :class:`ReplicatedSystem`; base transactions
-        always retry deadlocks per the paper.)
+    Construct with a :class:`~repro.replication.base.SystemSpec` whose
+    ``num_nodes`` counts *all* nodes, plus ``num_base`` — mobiles are the
+    remainder (ids ``num_base .. num_nodes-1``)::
+
+        TwoTierSystem(SystemSpec(num_nodes=4, db_size=100), num_base=1)
+
+    The spec's placement spans the **base tier only**: base nodes shard
+    (or fully replicate) the master copies among themselves, while mobile
+    nodes always hold full replicas — a mobile must be able to execute
+    tentative transactions over any object while dark.  Objects are
+    mastered per the placement (round-robin over base nodes under full
+    replication) unless overridden by ``mobile_mastered`` ("A mobile node
+    may be the master of some data items").  Base transactions retry
+    deadlocks by default, per the paper.
+
+    The legacy ``TwoTierSystem(num_base, num_mobile, db_size, ...)``
+    signature still works through the deprecation shim.
     """
 
     name = "two-tier"
+    default_retry_deadlocks = True
 
     def __init__(
         self,
-        num_base: int,
-        num_mobile: int,
-        db_size: int,
+        spec: Optional[SystemSpec] = None,
+        num_mobile: Optional[int] = None,
+        db_size: Optional[int] = None,
         mobile_mastered: Optional[Dict[int, int]] = None,
         cascade_rejections: bool = False,
+        num_base: Optional[int] = None,
         **kwargs,
     ):
-        if num_base <= 0:
+        if isinstance(spec, SystemSpec):
+            if num_mobile is not None or db_size is not None:
+                raise ConfigurationError(
+                    "with a SystemSpec, pass num_base only — mobiles are "
+                    "spec.num_nodes - num_base"
+                )
+            base_count = 1 if num_base is None else num_base
+            mobile_count = spec.num_nodes - base_count
+        else:
+            # legacy signature: (num_base, num_mobile, db_size, ...)
+            base_count = spec if spec is not None else num_base
+            mobile_count = num_mobile
+            if base_count is None or mobile_count is None or db_size is None:
+                raise ConfigurationError(
+                    "num_base, num_mobile, and db_size are required"
+                )
+            spec = None
+        if base_count <= 0:
             raise ConfigurationError("need at least one base node")
-        if num_mobile < 0:
+        if mobile_count < 0:
             raise ConfigurationError("num_mobile must be >= 0")
-        num_nodes = num_base + num_mobile
-        ownership = {oid: oid % num_base for oid in range(db_size)}
+        num_nodes = base_count + mobile_count
         for oid, owner in (mobile_mastered or {}).items():
-            if not num_base <= owner < num_nodes:
+            if not base_count <= owner < num_nodes:
                 raise ConfigurationError(
                     f"mobile_mastered[{oid}] = {owner} is not a mobile node id"
                 )
-            ownership[oid] = owner
-        kwargs.setdefault("retry_deadlocks", True)
-        super().__init__(
-            num_nodes,
-            db_size,
-            ownership=ownership,
-            **kwargs,
-        )
-        self.num_base = num_base
-        self.num_mobile = num_mobile
+        # set before super().__init__: the placement binds against the base
+        # tier, via our _placement_scope_nodes override
+        self.num_base = base_count
+        self.num_mobile = mobile_count
+        if spec is None:
+            super().__init__(num_nodes, db_size, **kwargs)
+        else:
+            super().__init__(spec, **kwargs)
         self.cascade_rejections = cascade_rejections
-        self.base_ids = list(range(num_base))
+        self.base_ids = list(range(base_count))
+        # mobile mastership overrides the placement-derived (base-tier)
+        # default; mobiles hold full replicas, so the owner always has a copy
+        for oid, owner in (mobile_mastered or {}).items():
+            self.ownership[oid] = owner
         self.scope = TransactionScope(self.ownership, self.base_ids)
         self.mobiles: Dict[int, MobileNode] = {
-            mid: MobileNode(self, mid, host_base_id=(mid - num_base) % num_base)
-            for mid in range(num_base, num_nodes)
+            mid: MobileNode(self, mid, host_base_id=(mid - base_count) % base_count)
+            for mid in range(base_count, num_nodes)
         }
+
+    def _placement_scope_nodes(self) -> int:
+        return self.num_base
 
     def _register_probes(self, telemetry) -> None:
         # called from ReplicatedSystem.__init__, before self.mobiles exists;
@@ -339,10 +369,22 @@ class TwoTierSystem(LazyMasterSystem):
     def base_divergence(self) -> int:
         """Objects whose value differs *across base nodes* — the paper's
         system-delusion test restricted to the master tier (mobiles may be
-        legitimately stale while dark)."""
-        from repro.storage.store import divergence
+        legitimately stale while dark).  Under a partial base placement
+        each object is compared only across its base replica set."""
+        if self.placement.is_full:
+            from repro.storage.store import divergence
 
-        return divergence(self.nodes[i].store for i in self.base_ids)
+            return divergence(self.nodes[i].store for i in self.base_ids)
+        differing = 0
+        for oid in range(self.db_size):
+            replicas = self.placement.replicas(oid)
+            if len(replicas) < 2:
+                continue
+            values = [self.nodes[n].store.value(oid) for n in replicas]
+            first = values[0]
+            if any(value != first for value in values[1:]):
+                differing += 1
+        return differing
 
     def base_converged(self) -> bool:
         return self.base_divergence() == 0

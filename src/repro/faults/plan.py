@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.specs import coerce_float, coerce_window, split_spec_items
 
 #: spec value meaning "the partition never heals / the node never recovers"
 FOREVER = math.inf
@@ -284,6 +285,9 @@ class FaultPlan:
         The timetable is a deterministic function of (spec, num_nodes,
         duration) — two runs of the same sweep cell schedule identical
         events.  Example: ``drop=0.05,partition=2``.
+
+        Tokenisation and value coercion come from :mod:`repro.specs`, the
+        grammar shared with ``--placement``.
         """
         if num_nodes <= 0:
             raise ConfigurationError("num_nodes must be positive")
@@ -292,38 +296,12 @@ class FaultPlan:
         link: Dict[str, float] = {}
         partitions: Tuple[Partition, ...] = ()
         crashes: Tuple[Crash, ...] = ()
-        for part in str(spec).split(","):
-            part = part.strip()
-            if not part:
-                continue
-            if "=" not in part:
-                raise ConfigurationError(
-                    f"bad fault spec item {part!r}: expected key=value"
-                )
-            key, _, raw = part.partition("=")
-            key = key.strip().lower()
-            raw = raw.strip()
+        for key, raw in split_spec_items(spec, what="fault"):
             if key in _LINK_KEYS:
-                try:
-                    link[_LINK_KEYS[key]] = float(raw)
-                except ValueError:
-                    raise ConfigurationError(
-                        f"bad value for {key!r}: {raw!r} is not a number"
-                    )
+                link[_LINK_KEYS[key]] = coerce_float(key, raw)
                 continue
             if key in ("partition", "crash"):
-                if raw.lower() == "forever":
-                    window = FOREVER
-                else:
-                    try:
-                        window = float(raw)
-                    except ValueError:
-                        raise ConfigurationError(
-                            f"bad value for {key!r}: {raw!r} is not a "
-                            "number or 'forever'"
-                        )
-                    if window <= 0:
-                        raise ConfigurationError(f"{key} window must be > 0")
+                window = coerce_window(key, raw)
                 start = duration * 0.25
                 if key == "partition":
                     if num_nodes < 2:

@@ -76,8 +76,9 @@ TIMEOUT = "timeout"
 
 # bump when the result payload schema changes, so stale cache entries miss
 # (3: sample_interval joined the config hash, extras carry telemetry series;
-#  4: engine_queue gauge joined the standard telemetry series)
-CACHE_VERSION = 4
+#  4: engine_queue gauge joined the standard telemetry series;
+#  5: placement joined the config hash, extras carry resident_objects)
+CACHE_VERSION = 5
 
 # The rate the analytic model predicts for each strategy — the "danger"
 # curve of cmd_danger, used for the measured-vs-model column and the fit
@@ -162,6 +163,10 @@ class Campaign:
             (0 disables).  Each run's windowed series come back serialised
             in its payload's ``extra["series"]``, surviving the worker
             process boundary; ``repro sweep --series-out`` persists them.
+        placement: optional placement spec string (``"hash:k=3"``, see
+            :meth:`~repro.placement.Placement.from_spec`) applied to every
+            cell.  ``None`` means full replication.  The parsed spec's
+            canonical dictionary joins each cell's cache key.
     """
 
     strategies: Tuple[str, ...]
@@ -176,6 +181,7 @@ class Campaign:
     faults: Optional[str] = None
     fault_seed: int = 0
     sample_interval: float = 0.0
+    placement: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -201,6 +207,7 @@ class Campaign:
         base_value = getattr(self.base_params, self.axis)
         values = self.values or (base_value,)
         integral = isinstance(base_value, int)
+        placement = self._parse_placement()
         specs: List[RunSpec] = []
         for strategy in self.strategies:
             for value in values:
@@ -220,11 +227,20 @@ class Campaign:
                                 warmup=self.warmup,
                                 faults=plan,
                                 sample_interval=self.sample_interval,
+                                placement=placement,
                             ),
                             axis=self.axis,
                         )
                     )
         return specs
+
+    def _parse_placement(self):
+        """Parse the placement spec string once for the whole grid."""
+        if not self.placement:
+            return None
+        from repro.placement import Placement
+
+        return Placement.from_spec(self.placement)
 
     def _plan_for(self, strategy: str, params: ModelParameters):
         """Materialise the fault spec for one cell's actual topology."""
@@ -610,6 +626,18 @@ def aggregate(outcomes: Sequence[RunOutcome]) -> List[CellStats]:
                 samples.setdefault(name, []).append(value)
         reference = ANALYTIC_REFERENCE.get(spec.config.strategy)
         analytic = reference[1](spec.config.params) if reference else None
+        placement = getattr(spec.config, "placement", None)
+        k = getattr(placement, "replication_factor", None)
+        if reference is not None and k is not None:
+            # partial placement: the danger laws soften by k/N — use the
+            # partial model's prediction where the rate depends on fan-out
+            from repro.analytic import partial as partial_model
+
+            override = partial_model.reference_rate(
+                spec.config.strategy, spec.config.params, k
+            )
+            if override is not None:
+                analytic = override
         verdicts = [v for v in (o.oracle_ok() for o in members)
                     if v is not None]
         cells.append(

@@ -14,12 +14,12 @@ from repro.core.acceptance import (
 )
 from repro.core.protocol import TwoTierSystem
 from repro.exceptions import ConfigurationError
-from repro.faults.injector import FaultInjector
 from repro.faults.oracle import evaluate as evaluate_oracle
 from repro.faults.plan import FaultPlan
 from repro.metrics.counters import Metrics
 from repro.metrics.rates import RateSummary, summarize
-from repro.replication.base import ReplicatedSystem
+from repro.placement import Placement
+from repro.replication.base import ReplicatedSystem, SystemSpec
 from repro.replication.eager_group import EagerGroupSystem
 from repro.replication.eager_master import EagerMasterSystem
 from repro.replication.lazy_group import LazyGroupSystem
@@ -97,6 +97,12 @@ class ExperimentConfig:
         profiler: optional :class:`~repro.obs.profiler.Profiler` installed
             on the engine for the whole run (wall-clock hot-spot
             bucketing).  Instrumentation only, like ``tracer``.
+        placement: optional :class:`~repro.placement.Placement` spec.
+            ``None`` means full replication (the paper's model); a partial
+            placement (``HashShardPlacement.from_spec("hash:k=3")``) shards
+            every node's store to its replica set.  Joins the campaign
+            cache key via its canonical ``to_dict``.  For two-tier the
+            placement spans the base tier only.
     """
 
     strategy: str
@@ -116,6 +122,7 @@ class ExperimentConfig:
     sample_interval: float = 0.0
     telemetry: Optional[Any] = None
     profiler: Optional[Any] = None
+    placement: Optional[Placement] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -130,6 +137,13 @@ class ExperimentConfig:
             raise ConfigurationError("warmup must be >= 0")
         if self.sample_interval < 0:
             raise ConfigurationError("sample_interval must be >= 0")
+        if self.placement is not None and not isinstance(
+            self.placement, Placement
+        ):
+            raise ConfigurationError(
+                "placement must be a Placement spec "
+                f"(e.g. Placement.from_spec('hash:k=3')), got {self.placement!r}"
+            )
 
 
 @dataclass
@@ -188,34 +202,36 @@ def build_system(
     """
     p = config.params
     cls = STRATEGY_CLASSES[config.strategy]
-    common = dict(
+    # two-tier counts p.nodes as mobiles on top of config.num_base base
+    # nodes; everyone else runs p.nodes peers
+    num_nodes = (
+        config.num_base + p.nodes if config.strategy == "two-tier" else p.nodes
+    )
+    spec = SystemSpec(
+        num_nodes=num_nodes,
         db_size=p.db_size,
         action_time=p.action_time,
         message_delay=p.message_delay,
         seed=config.seed,
+        # tri-state: None lets two-tier default its base tier to retrying
+        # while the peer strategies surface deadlocks
+        retry_deadlocks=config.retry_deadlocks,
         record_history=config.record_history,
         tracer=config.tracer,
         telemetry=telemetry if telemetry is not None else _make_telemetry(config),
+        placement=config.placement,
+        faults=config.faults,
     )
-    if config.retry_deadlocks is not None:
-        # only override when asked: two-tier's constructor defaults its
-        # base tier to retrying, the others to surfacing deadlocks
-        common["retry_deadlocks"] = config.retry_deadlocks
     if config.strategy == "lazy-group":
         propagate = (
             config.commutative
             if config.propagate_ops is None
             else config.propagate_ops
         )
-        return cls(
-            num_nodes=p.nodes,
-            rule=config.rule,
-            propagate_ops=propagate,
-            **common,
-        )
+        return cls(spec, rule=config.rule, propagate_ops=propagate)
     if config.strategy == "two-tier":
-        return cls(num_base=config.num_base, num_mobile=p.nodes, **common)
-    return cls(num_nodes=p.nodes, **common)
+        return cls(spec, num_base=config.num_base)
+    return cls(spec)
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -234,9 +250,6 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if config.profiler is not None:
         config.profiler.install(system.engine)
 
-    injector: Optional[FaultInjector] = None
-    if config.faults is not None and not config.faults.empty:
-        injector = FaultInjector(system, config.faults).install()
     # Two-tier always uses state-dependent increment operations: a blind
     # write's outputs are state-independent, which would make the strict
     # IdenticalOutputs acceptance test vacuously true.  The ``commutative``
@@ -329,8 +342,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         "oracle_failures": verdict.failures or None,
         "submitted": getattr(driver, "submitted", None),
     }
-    if injector is not None:
-        extra["fault_stats"] = injector.stats()
+    resident = [len(node.store) for node in system.nodes]
+    extra["resident_objects"] = {
+        "max": max(resident),
+        "mean": sum(resident) / len(resident),
+        "total": sum(resident),
+        "db_size": p.db_size,
+        "replication_factor": system.placement.replication_factor,
+    }
+    if system.fault_injector is not None:
+        extra["fault_stats"] = system.fault_injector.stats()
     if telemetry is not None:
         # serialised (not the live handle) so results survive the process
         # boundary the campaign pool sends them across

@@ -33,6 +33,9 @@ def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
         "acceptance": getattr(config.acceptance, "name", None),
         "rule": getattr(config.rule, "name", None),
         "faults": config.faults.to_dict() if config.faults is not None else None,
+        "placement": (
+            config.placement.to_dict() if config.placement is not None else None
+        ),
         "params": {
             "db_size": p.db_size,
             "nodes": p.nodes,

@@ -1,0 +1,33 @@
+"""Placement: which nodes hold a copy of each object.
+
+Full replication — every node holds every object — is what gives the paper
+its cube-law danger: work and conflict grow as nodes × objects.  A
+*placement* breaks that coupling by replicating each object at only ``k``
+of ``N`` nodes (Sutra & Shapiro's fault-tolerant partial replication).
+
+A :class:`~repro.placement.base.Placement` is a pure-data recipe
+(serialisable, hashable, cache-key friendly); calling
+:meth:`~repro.placement.base.Placement.bind` against a concrete
+``(num_nodes, db_size)`` yields the directory object the system queries:
+``replicas(oid)``, ``master(oid)``, ``objects_at(node_id)``.
+
+Two implementations:
+
+* :class:`~repro.placement.full.FullReplication` — today's behaviour and
+  the default everywhere; every node materialises the whole database.
+* :class:`~repro.placement.hash_shard.HashShardPlacement` — rendezvous
+  (highest-random-weight) hashing: deterministic, seedable, O(1) directory
+  state, balanced within a few percent, and replica sets move minimally
+  when nodes are added.
+"""
+
+from repro.placement.base import BoundPlacement, Placement
+from repro.placement.full import FullReplication
+from repro.placement.hash_shard import HashShardPlacement
+
+__all__ = [
+    "BoundPlacement",
+    "Placement",
+    "FullReplication",
+    "HashShardPlacement",
+]

@@ -1,0 +1,169 @@
+"""The Placement protocol: spec objects and their bound directories.
+
+A placement comes in two forms:
+
+* the **spec** (:class:`Placement`): a frozen dataclass carrying only
+  configuration (replication factor, seed).  It serialises to strict JSON
+  (:meth:`Placement.to_dict`), parses from the CLI's compact
+  ``kind:key=value`` syntax (:meth:`Placement.from_spec`, the same grammar
+  as ``--faults`` via :mod:`repro.specs`), and joins the campaign cache
+  key untouched.
+* the **bound directory** (:class:`BoundPlacement`): the spec applied to a
+  concrete ``(num_nodes, db_size)``.  This is what the replication
+  strategies query on the hot path; implementations memoise their replica
+  sets so lookups are O(k) after the first.
+
+The split keeps configs hashable/picklable while letting the directory
+hold caches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.exceptions import ConfigurationError
+from repro.specs import parse_prefixed_spec
+
+#: registry kind -> spec class, populated by ``Placement.__init_subclass__``
+_KINDS: Dict[str, Type["Placement"]] = {}
+
+
+class Placement:
+    """Pure-data recipe for object→replica-set assignment.
+
+    Subclasses are frozen dataclasses defining a class attribute ``kind``
+    (the spec prefix and the ``to_dict`` discriminator) and implementing
+    :meth:`bind` plus the serialisation hooks.
+    """
+
+    kind: str = "abstract"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.kind != "abstract":
+            _KINDS[cls.kind] = cls
+
+    # ------------------------------------------------------------------ #
+    # binding
+    # ------------------------------------------------------------------ #
+
+    def bind(self, num_nodes: int, db_size: int) -> "BoundPlacement":
+        """Apply this spec to a concrete system shape."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # serialisation (canonical: joins the campaign cache key)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON canonical form; must round-trip via from_dict."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Placement":
+        kind = data.get("kind")
+        impl = _KINDS.get(kind)
+        if impl is None:
+            raise ConfigurationError(
+                f"unknown placement kind {kind!r}; expected one of "
+                f"{sorted(_KINDS)}"
+            )
+        return impl._from_dict(data)
+
+    @classmethod
+    def _from_dict(cls, data: Dict[str, Any]) -> "Placement":
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # CLI spec parsing (same grammar as FaultPlan.from_spec)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "Placement":
+        """Parse a compact CLI spec.
+
+        Syntax: ``kind`` or ``kind:key=value,...``.  Examples::
+
+            full
+            hash:k=3
+            hash:k=3,seed=7
+        """
+        kind, items = parse_prefixed_spec(spec, what="placement")
+        impl = _KINDS.get(kind)
+        if impl is None:
+            raise ConfigurationError(
+                f"unknown placement kind {kind!r}; expected one of "
+                f"{sorted(_KINDS)}"
+            )
+        return impl._from_items(items)
+
+    @classmethod
+    def _from_items(cls, items: Sequence[Tuple[str, str]]) -> "Placement":
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """The compact spec string this placement parses from."""
+        raise NotImplementedError
+
+
+class BoundPlacement:
+    """A placement applied to ``(num_nodes, db_size)`` — the directory.
+
+    Attributes:
+        spec: the :class:`Placement` this directory was bound from.
+        num_nodes: nodes the placement spans.  For a two-tier system this
+            is the *base* tier only; mobiles hold full replicas.
+        db_size: object-id space.
+        is_full: True when every node holds every object — strategies use
+            this to keep the classic full-replication code paths (and their
+            byte-identical determinism goldens).
+        replication_factor: effective copies per object (``min(k, N)``).
+    """
+
+    is_full: bool = False
+
+    def __init__(self, spec: Placement, num_nodes: int, db_size: int):
+        if num_nodes <= 0:
+            raise ConfigurationError(
+                f"num_nodes must be positive, got {num_nodes}"
+            )
+        if db_size <= 0:
+            raise ConfigurationError(f"db_size must be positive, got {db_size}")
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.db_size = db_size
+
+    # -- queries ------------------------------------------------------- #
+
+    @property
+    def replication_factor(self) -> int:
+        raise NotImplementedError
+
+    def replicas(self, oid: int) -> Tuple[int, ...]:
+        """Node ids holding ``oid``, master first.  Deterministic."""
+        raise NotImplementedError
+
+    def master(self, oid: int) -> int:
+        """The owner node for ``oid`` (always a member of its replica set)."""
+        return self.replicas(oid)[0]
+
+    def is_replica(self, oid: int, node_id: int) -> bool:
+        return node_id in self.replicas(oid)
+
+    def objects_at(self, node_id: int) -> Optional[Sequence[int]]:
+        """Object ids resident at ``node_id``; ``None`` means *all*."""
+        raise NotImplementedError
+
+    def resident_counts(self) -> List[int]:
+        """Resident objects per node (index = node id)."""
+        out: List[int] = []
+        for node_id in range(self.num_nodes):
+            resident = self.objects_at(node_id)
+            out.append(self.db_size if resident is None else len(resident))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} nodes={self.num_nodes} "
+            f"db={self.db_size} k={self.replication_factor}>"
+        )

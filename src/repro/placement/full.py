@@ -1,0 +1,70 @@
+"""Full replication: every node holds every object (the paper's model).
+
+This is the default placement and reproduces the pre-placement behaviour
+exactly — including the ``oid % num_nodes`` round-robin mastership that the
+master strategies used as their default ownership map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.placement.base import BoundPlacement, Placement
+
+
+@dataclass(frozen=True)
+class FullReplication(Placement):
+    """Every object at every node (Table 2's ``Nodes × DB_Size`` copies)."""
+
+    kind = "full"
+
+    def bind(self, num_nodes: int, db_size: int) -> "BoundFullReplication":
+        return BoundFullReplication(self, num_nodes, db_size)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "full"}
+
+    @classmethod
+    def _from_dict(cls, data: Dict[str, Any]) -> "FullReplication":
+        return cls()
+
+    @classmethod
+    def _from_items(cls, items) -> "FullReplication":
+        if items:
+            keys = sorted({key for key, _ in items})
+            raise ConfigurationError(
+                f"placement kind 'full' takes no parameters, got {keys}"
+            )
+        return cls()
+
+    def spec(self) -> str:
+        return "full"
+
+
+class BoundFullReplication(BoundPlacement):
+    """The trivial directory: all nodes, round-robin masters."""
+
+    is_full = True
+
+    def __init__(self, spec: Placement, num_nodes: int, db_size: int):
+        super().__init__(spec, num_nodes, db_size)
+        self._all_nodes: Tuple[int, ...] = tuple(range(num_nodes))
+
+    @property
+    def replication_factor(self) -> int:
+        return self.num_nodes
+
+    def replicas(self, oid: int) -> Tuple[int, ...]:
+        return self._all_nodes
+
+    def master(self, oid: int) -> int:
+        # matches the classic round_robin_ownership default
+        return oid % self.num_nodes
+
+    def is_replica(self, oid: int, node_id: int) -> bool:
+        return 0 <= node_id < self.num_nodes
+
+    def objects_at(self, node_id: int) -> Optional[Sequence[int]]:
+        return None

@@ -1,0 +1,158 @@
+"""Rendezvous-hashed partial replication.
+
+Each object lives at the ``k`` nodes with the highest
+highest-random-weight (HRW) score ``mix(seed, oid, node)``.  Properties
+that make this the right default directory for a simulator:
+
+* **deterministic & seedable** — the assignment is a pure function of
+  ``(placement_seed, oid, node)``; no directory state to replicate, no
+  coordination (the SCAR-style "cheap placement" argument).
+* **O(1) memory** — nothing is stored per object; replica sets are
+  recomputed (and memoised per bound directory) on demand.
+* **balanced** — scores are i.i.d. uniform per (oid, node), so shard sizes
+  concentrate tightly around ``k · db_size / N``.
+* **minimal movement** — adding a node only claims the objects where the
+  new node's score enters the top ``k`` (expected fraction ``k/(N+1)``);
+  all other replica sets are untouched.
+
+The mixer is a splitmix64-style finaliser over a linear combination of the
+inputs — plain 64-bit integer arithmetic, stable across Python processes
+(unlike the salted built-in ``hash``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.placement.base import BoundPlacement, Placement
+from repro.specs import coerce_int
+
+_MASK = (1 << 64) - 1
+
+
+def _score(seed: int, oid: int, node: int) -> int:
+    """HRW weight of ``node`` for ``oid`` — splitmix64 finaliser."""
+    x = (
+        seed * 0x9E3779B97F4A7C15
+        + oid * 0xD1B54A32D192ED03
+        + node * 0x8CB92BA72F3D8DD7
+        + 0x2545F4914F6CDD1D
+    ) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class HashShardPlacement(Placement):
+    """Partial replication: each object at ``replication_factor`` nodes.
+
+    Args:
+        replication_factor: copies per object (Table 2's ``k``).  Clamped
+            to the node count at bind time, so a node-axis sweep can keep
+            ``k=3`` fixed while ``N`` passes through 1 and 2.
+        placement_seed: reshuffles the assignment without touching any
+            workload randomness (same contract as ``fault_seed``).
+    """
+
+    replication_factor: int = 3
+    placement_seed: int = 0
+
+    kind = "hash"
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ConfigurationError(
+                "replication_factor must be >= 1, got "
+                f"{self.replication_factor}"
+            )
+        if self.placement_seed < 0:
+            raise ConfigurationError(
+                f"placement_seed must be >= 0, got {self.placement_seed}"
+            )
+
+    def bind(self, num_nodes: int, db_size: int) -> "BoundHashShard":
+        return BoundHashShard(self, num_nodes, db_size)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "hash",
+            "replication_factor": self.replication_factor,
+            "placement_seed": self.placement_seed,
+        }
+
+    @classmethod
+    def _from_dict(cls, data: Dict[str, Any]) -> "HashShardPlacement":
+        return cls(
+            replication_factor=int(data.get("replication_factor", 3)),
+            placement_seed=int(data.get("placement_seed", 0)),
+        )
+
+    @classmethod
+    def _from_items(cls, items) -> "HashShardPlacement":
+        kwargs: Dict[str, int] = {}
+        for key, raw in items:
+            if key in ("k", "replication_factor"):
+                kwargs["replication_factor"] = coerce_int(key, raw)
+            elif key in ("seed", "placement_seed"):
+                kwargs["placement_seed"] = coerce_int(key, raw)
+            else:
+                raise ConfigurationError(
+                    f"unknown placement spec key {key!r}; expected one of "
+                    "['k', 'seed']"
+                )
+        return cls(**kwargs)
+
+    def spec(self) -> str:
+        text = f"hash:k={self.replication_factor}"
+        if self.placement_seed:
+            text += f",seed={self.placement_seed}"
+        return text
+
+
+class BoundHashShard(BoundPlacement):
+    """HRW directory bound to a concrete system shape."""
+
+    def __init__(self, spec: HashShardPlacement, num_nodes: int, db_size: int):
+        super().__init__(spec, num_nodes, db_size)
+        self._k = min(spec.replication_factor, num_nodes)
+        self._seed = spec.placement_seed
+        # k == N degenerates to full replication (every node holds every
+        # object); flagging it lets strategies keep the classic paths
+        self.is_full = self._k >= num_nodes
+        self._cache: Dict[int, Tuple[int, ...]] = {}
+        self._by_node: Optional[List[List[int]]] = None
+
+    @property
+    def replication_factor(self) -> int:
+        return self._k
+
+    def replicas(self, oid: int) -> Tuple[int, ...]:
+        cached = self._cache.get(oid)
+        if cached is None:
+            seed = self._seed
+            ranked = sorted(
+                range(self.num_nodes),
+                key=lambda node: (-_score(seed, oid, node), node),
+            )
+            cached = self._cache[oid] = tuple(ranked[: self._k])
+        return cached
+
+    def master(self, oid: int) -> int:
+        return self.replicas(oid)[0]
+
+    def is_replica(self, oid: int, node_id: int) -> bool:
+        return node_id in self.replicas(oid)
+
+    def objects_at(self, node_id: int) -> Optional[Sequence[int]]:
+        if self.is_full:
+            return None
+        if self._by_node is None:
+            by_node: List[List[int]] = [[] for _ in range(self.num_nodes)]
+            for oid in range(self.db_size):
+                for node in self.replicas(oid):
+                    by_node[node].append(oid)
+            self._by_node = by_node
+        return self._by_node[node_id]

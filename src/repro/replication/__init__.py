@@ -23,7 +23,12 @@ systems for availability), and :mod:`~repro.replication.convergent`
 The proposed two-tier scheme lives in :mod:`repro.core`.
 """
 
-from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
+from repro.replication.base import (
+    NodeContext,
+    ReplicatedSystem,
+    ReplicaUpdate,
+    SystemSpec,
+)
 from repro.replication.eager_group import EagerGroupSystem
 from repro.replication.eager_master import EagerMasterSystem
 from repro.replication.lazy_group import LazyGroupSystem
@@ -33,6 +38,7 @@ __all__ = [
     "NodeContext",
     "ReplicatedSystem",
     "ReplicaUpdate",
+    "SystemSpec",
     "EagerGroupSystem",
     "EagerMasterSystem",
     "LazyGroupSystem",

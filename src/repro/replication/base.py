@@ -12,8 +12,9 @@ whatever propagation the strategy prescribes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import (
     ConfigurationError,
@@ -21,9 +22,11 @@ from repro.exceptions import (
     DeadlockAbort,
     InvalidStateError,
 )
+from repro.faults.plan import FaultPlan
 from repro.metrics.counters import Metrics
 from repro.network.message import Message
 from repro.network.network import Network
+from repro.placement import FullReplication, Placement
 from repro.sim.engine import Engine
 from repro.sim.process import Process
 from repro.sim.random_source import RandomSource
@@ -35,6 +38,104 @@ from repro.storage.wal import WriteAheadLog
 from repro.txn.manager import TransactionManager
 from repro.txn.ops import Operation
 from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Everything needed to construct a replicated system.
+
+    This is the one constructor argument every strategy accepts —
+    ``EagerGroupSystem(SystemSpec(num_nodes=3, db_size=100), quorum=True)``
+    — replacing the long positional/keyword tail the classes had grown.
+    Strategy-specific options (quorum, ownership, reconciliation rule, ...)
+    stay keyword arguments on the concrete class; the spec carries what is
+    common to all five.
+
+    Args:
+        num_nodes: nodes in the system.
+        db_size: objects in the database (Table 2's DB_Size).
+        action_time: virtual seconds per update action.
+        message_delay: network propagation delay (0 in the paper's model).
+        seed: master seed for all random streams.
+        lock_reads: take shared locks on reads (full serializability).
+        retry_deadlocks: resubmit user transactions that fall to deadlock.
+            ``None`` (default) keeps each strategy's own policy — two-tier
+            bases retry, everything else surfaces deadlocks as failures.
+        max_retries: bound on resubmissions, preventing livelock.
+        victim_policy: deadlock victim selection (ablation hook).
+        initial_value: starting value of every object.
+        engine: share an existing engine instead of creating one.
+        record_history: record reads/writes for serializability checking.
+        tracer: optional :class:`~repro.sim.tracing.Tracer`.
+        telemetry: optional :class:`~repro.obs.samplers.Telemetry` handle.
+        placement: which nodes hold each object.  ``None`` means
+            :class:`~repro.placement.FullReplication` — every node
+            materialises the whole database, the paper's model.  A partial
+            placement (``HashShardPlacement``) shards the stores and
+            restricts propagation to each object's replica set.
+        faults: optional :class:`~repro.faults.plan.FaultPlan`; when given
+            (and non-empty) the system installs a
+            :class:`~repro.faults.injector.FaultInjector` at construction,
+            exposed as ``system.fault_injector``.
+    """
+
+    num_nodes: int
+    db_size: int
+    action_time: float = 0.01
+    message_delay: float = 0.0
+    seed: int = 0
+    lock_reads: bool = False
+    retry_deadlocks: Optional[bool] = None
+    max_retries: int = 25
+    victim_policy: Callable = youngest_victim
+    initial_value: Any = 0
+    engine: Optional[Engine] = None
+    record_history: bool = False
+    tracer: Any = None
+    telemetry: Any = None
+    placement: Optional[Placement] = None
+    faults: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError(
+                f"num_nodes must be positive, got {self.num_nodes}"
+            )
+        if self.placement is not None and not isinstance(
+            self.placement, Placement
+        ):
+            raise ConfigurationError(
+                "placement must be a Placement spec (e.g. FullReplication() "
+                f"or HashShardPlacement(k)), got {self.placement!r}"
+            )
+
+    #: the positional order of the legacy ``ReplicatedSystem(...)`` signature
+    _LEGACY_FIELDS = (
+        "num_nodes", "db_size", "action_time", "message_delay", "seed",
+        "lock_reads", "retry_deadlocks", "max_retries", "victim_policy",
+        "initial_value", "engine", "record_history", "tracer", "telemetry",
+    )
+
+    @classmethod
+    def from_legacy(cls, *args, **kwargs) -> "SystemSpec":
+        """Adapt the pre-SystemSpec constructor arguments (shim support)."""
+        if len(args) > len(cls._LEGACY_FIELDS):
+            raise ConfigurationError(
+                f"too many positional arguments ({len(args)}) for the legacy "
+                "system signature"
+            )
+        merged: Dict[str, Any] = dict(zip(cls._LEGACY_FIELDS, args))
+        for name, value in kwargs.items():
+            if name in merged:
+                raise ConfigurationError(
+                    f"argument {name!r} given positionally and by keyword"
+                )
+            merged[name] = value
+        if "num_nodes" not in merged or "db_size" not in merged:
+            raise ConfigurationError(
+                "num_nodes and db_size are required to build a system"
+            )
+        return cls(**merged)
 
 
 @dataclass(frozen=True)
@@ -70,67 +171,69 @@ class NodeContext:
 class ReplicatedSystem:
     """Base class for the Table 1 strategies.
 
-    Args:
-        num_nodes: nodes, each replicating the whole database.
-        db_size: objects in the database (Table 2's DB_Size).
-        action_time: virtual seconds per update action.
-        message_delay: network propagation delay (0 in the paper's model).
-        seed: master seed for all random streams.
-        lock_reads: take shared locks on reads (full serializability).
-        retry_deadlocks: resubmit user transactions that fall to deadlock
-            (the paper's two-tier base transactions are "resubmitted and
-            reprocessed until [they succeed]"); baseline measurements keep
-            this off so deadlocks surface as failed transactions.
-        max_retries: bound on resubmissions, preventing livelock.
-        victim_policy: deadlock victim selection (ablation hook).
-        initial_value: starting value of every object.
-        telemetry: optional :class:`~repro.obs.samplers.Telemetry` handle;
-            when given, the system registers its standard probes (lock
-            wait-queue depth, per-node WAL active transactions, network
-            in-flight/parked gauges, per-window commit/abort/deadlock/wait
-            rates) and subclasses add strategy-specific ones via
-            :meth:`_register_probes`.  Instrumentation only — sampling
-            never changes workload behaviour.
+    Construct with a single :class:`SystemSpec`::
+
+        system = LazyGroupSystem(SystemSpec(num_nodes=3, db_size=100))
+
+    Strategy-specific options stay keyword arguments on the concrete class
+    (``EagerGroupSystem(spec, quorum=True)``).  The old positional
+    signature (``LazyGroupSystem(num_nodes, db_size, ...)``) still works
+    through a deprecation shim, emitting a :class:`DeprecationWarning`.
+
+    The spec's ``placement`` decides which nodes hold each object: under
+    :class:`~repro.placement.FullReplication` (the default) every node
+    materialises the whole database and the system behaves exactly as the
+    paper's model; under a partial placement each node materialises only
+    its shard, operations route via ``placement.replicas(oid)`` /
+    ``placement.master(oid)``, and propagation stays inside each object's
+    replica set.
     """
 
     name = "abstract"
+    #: strategy policy when ``spec.retry_deadlocks`` is None — two-tier
+    #: bases retry ("resubmitted and reprocessed until [they succeed]"),
+    #: every other strategy surfaces deadlocks as failed transactions
+    default_retry_deadlocks = False
 
-    def __init__(
-        self,
-        num_nodes: int,
-        db_size: int,
-        action_time: float = 0.01,
-        message_delay: float = 0.0,
-        seed: int = 0,
-        lock_reads: bool = False,
-        retry_deadlocks: bool = False,
-        max_retries: int = 25,
-        victim_policy=youngest_victim,
-        initial_value: Any = 0,
-        engine: Optional[Engine] = None,
-        record_history: bool = False,
-        tracer=None,
-        telemetry=None,
-    ):
-        if num_nodes <= 0:
-            raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
-        self.engine = engine or Engine()
-        self.tracer = tracer  # optional repro.sim.tracing.Tracer
-        self.telemetry = telemetry  # optional repro.obs.samplers.Telemetry
-        if record_history:
+    def __init__(self, spec: Optional[SystemSpec] = None, *args, **kwargs):
+        if not isinstance(spec, SystemSpec):
+            if spec is not None:
+                args = (spec,) + args
+            warnings.warn(
+                f"{type(self).__name__}(num_nodes, db_size, ...) is "
+                "deprecated; pass a SystemSpec as the only constructor "
+                "argument",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            spec = SystemSpec.from_legacy(*args, **kwargs)
+        elif args or kwargs:
+            raise ConfigurationError(
+                "a SystemSpec cannot be mixed with legacy constructor "
+                f"arguments (got extras {list(kwargs) or list(args)!r})"
+            )
+        self.spec = spec
+        self.engine = spec.engine or Engine()
+        self.tracer = spec.tracer  # optional repro.sim.tracing.Tracer
+        self.telemetry = spec.telemetry  # optional repro.obs.samplers.Telemetry
+        if spec.record_history:
             from repro.verify.history import History
 
             self.history: Optional["History"] = History()
         else:
             self.history = None
-        self.num_nodes = num_nodes
-        self.db_size = db_size
-        self.action_time = action_time
-        self.retry_deadlocks = retry_deadlocks
-        self.max_retries = max_retries
+        self.num_nodes = spec.num_nodes
+        self.db_size = spec.db_size
+        self.action_time = spec.action_time
+        self.retry_deadlocks = (
+            self.default_retry_deadlocks
+            if spec.retry_deadlocks is None
+            else spec.retry_deadlocks
+        )
+        self.max_retries = spec.max_retries
         self.metrics = Metrics()
-        self.rng = RandomSource(seed)
-        self.detector = DeadlockDetector(victim_policy=victim_policy)
+        self.rng = RandomSource(spec.seed)
+        self.detector = DeadlockDetector(victim_policy=spec.victim_policy)
         self.crashed: set = set()
         # per-node live user-transaction processes, insertion-ordered so a
         # crash interrupts them deterministically (a set of Process objects
@@ -140,19 +243,53 @@ class ReplicatedSystem:
         # transaction, so the f-string was measurable at high TPS
         self._txn_proc_names: Dict[int, str] = {}
         self._rejected_proc_names: Dict[int, str] = {}
-        self.network = Network(self.engine, num_nodes, message_delay=message_delay)
+        self.placement_spec = (
+            spec.placement if spec.placement is not None else FullReplication()
+        )
+        self.placement = self.placement_spec.bind(
+            self._placement_scope_nodes(), spec.db_size
+        )
+        self.network = Network(
+            self.engine, spec.num_nodes, message_delay=spec.message_delay
+        )
         self.nodes: List[NodeContext] = [
-            self._make_node(i, db_size, action_time, lock_reads, initial_value)
-            for i in range(num_nodes)
+            self._make_node(
+                i, spec.db_size, spec.action_time, spec.lock_reads,
+                spec.initial_value,
+            )
+            for i in range(spec.num_nodes)
         ]
         for node in self.nodes:
             self.network.register(node.node_id, self._make_handler(node))
-        if telemetry is not None:
-            self._register_probes(telemetry)
+        if spec.telemetry is not None:
+            self._register_probes(spec.telemetry)
+        self.fault_injector = None
+        if spec.faults is not None and not spec.faults.empty:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(self, spec.faults).install()
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
+
+    def _placement_scope_nodes(self) -> int:
+        """Nodes the placement spans (two-tier narrows this to the base
+        tier; mobiles always hold full replicas)."""
+        return self.num_nodes
+
+    def _resident_oids(self, node_id: int):
+        """Objects materialised at ``node_id`` (None means the whole db)."""
+        if node_id >= self.placement.num_nodes:
+            # outside the placement scope — a two-tier mobile: full replica
+            return None
+        return self.placement.objects_at(node_id)
+
+    def _node_holds(self, oid: int, node_id: int) -> bool:
+        """Does ``node_id`` materialise a copy of ``oid``?"""
+        if node_id >= self.placement.num_nodes:
+            return True
+        return self.placement.is_replica(oid, node_id)
 
     def _make_node(
         self,
@@ -162,7 +299,10 @@ class ReplicatedSystem:
         lock_reads: bool,
         initial_value: Any,
     ) -> NodeContext:
-        store = ObjectStore(node_id, db_size, initial_value=initial_value)
+        store = ObjectStore(
+            node_id, db_size, initial_value=initial_value,
+            oids=self._resident_oids(node_id),
+        )
         locks = LockManager(
             self.engine,
             node_id,
@@ -226,6 +366,14 @@ class ReplicatedSystem:
             telemetry.gauge(
                 f"wal_active_txns/node{node.node_id}",
                 node.wal.pending_transactions,
+            )
+        telemetry.gauge(
+            "resident_objects",
+            lambda: sum(len(n.store) for n in self.nodes),
+        )
+        for node in self.nodes:
+            telemetry.gauge(
+                f"resident_objects/node{node.node_id}", node.store.__len__
             )
         self.network.bind_telemetry(telemetry)
         telemetry.counter_rate("commit_rate", lambda: self.metrics.commits)
@@ -418,8 +566,36 @@ class ReplicatedSystem:
         return self.engine.run(until=None if self.engine.peek() else max_time)
 
     def divergence(self) -> int:
-        """Objects whose value differs across nodes (system delusion)."""
-        return divergence(node.store for node in self.nodes)
+        """Objects whose value differs across their replicas (delusion).
+
+        Under full replication every node holds every object, so this is a
+        straight store comparison.  Under a partial placement each object
+        is compared only across its own replica set (plus any nodes outside
+        the placement scope, i.e. two-tier mobiles, which hold full
+        replicas) — non-replicas never materialise the object and have no
+        opinion about its value.
+        """
+        placement = self.placement
+        if placement.is_full:
+            return divergence(node.store for node in self.nodes)
+        stores = [node.store for node in self.nodes]
+        extra_holders = tuple(range(placement.num_nodes, self.num_nodes))
+        differing = 0
+        for oid in range(self.db_size):
+            holders = placement.replicas(oid) + extra_holders
+            if len(holders) < 2:
+                continue
+            try:
+                values = [stores[node_id].value(oid) for node_id in holders]
+            except KeyError:
+                raise InvalidStateError(
+                    f"object {oid} is missing from one of its replica "
+                    f"stores {holders} — placement and stores disagree"
+                )
+            first = values[0]
+            if any(value != first for value in values[1:]):
+                differing += 1
+        return differing
 
     def converged(self) -> bool:
         return self.divergence() == 0

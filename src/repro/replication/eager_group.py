@@ -52,7 +52,7 @@ class EagerGroupSystem(ReplicatedSystem):
     # ------------------------------------------------------------------ #
 
     def _run(self, origin: int, ops: List[Operation], label: str):
-        participants = self._participants(origin)
+        participants = self._participants(origin, ops)
         if participants is None:
             # cannot form a quorum (or, without quorums, somebody is down)
             self.blocked_by_disconnect += 1
@@ -67,17 +67,25 @@ class EagerGroupSystem(ReplicatedSystem):
         try:
             for op in ops:
                 if op.is_read:
-                    yield from self.nodes[origin].tm.execute(txn, op)
+                    yield from self._read_site(origin, op.oid).tm.execute(
+                        txn, op
+                    )
                     continue
-                for node in participants:
+                # under a partial placement only the object's replicas are
+                # updated; with full replication this is all participants
+                sites = [
+                    node for node in participants
+                    if self._node_holds(op.oid, node.node_id)
+                ]
+                for node in sites:
                     if node not in touched:
                         touched.append(node)
                 if self.parallel_updates:
-                    yield from self._apply_parallel(txn, op, participants)
+                    yield from self._apply_parallel(txn, op, sites)
                 else:
                     # Figure 1: Write A at every node, then Write B at every
                     # node, ... — sequential replica updates, origin first.
-                    for node in participants:
+                    for node in sites:
                         yield from node.tm.execute(txn, op)
                         self.metrics.actions += 1
         except DeadlockAbort as exc:
@@ -86,6 +94,13 @@ class EagerGroupSystem(ReplicatedSystem):
         self._commit_everywhere(txn, touched)
         self._send_catchup(origin, txn, participants)
         return txn
+
+    def _read_site(self, origin: int, oid: int) -> NodeContext:
+        """Committed-read site: the origin when it holds a replica of the
+        object, otherwise the object's (deterministic) master replica."""
+        if self._node_holds(oid, origin):
+            return self.nodes[origin]
+        return self.nodes[self.placement.master(oid)]
 
     def _apply_parallel(self, txn: Transaction, op, participants):
         """Footnote 2: broadcast one action to every replica at once.
@@ -109,26 +124,48 @@ class EagerGroupSystem(ReplicatedSystem):
         for process in processes:
             yield process  # re-raises DeadlockAbort from any replica
 
-    def _participants(self, origin: int) -> List[NodeContext] | None:
-        """Replicas updated synchronously, or None if the update must fail."""
+    def _participants(
+        self, origin: int, ops: Sequence[Operation]
+    ) -> List[NodeContext] | None:
+        """Nodes reachable for this transaction, or None if it must fail.
+
+        Full replication: the classic check — everybody connected, or a
+        connected majority when quorums are on.  Partial placement: each
+        *written object's replica set* must be fully connected (or hold a
+        majority of its own k replicas when quorums are on); the write loop
+        then picks each op's replica sites out of the returned list.
+        """
+        if not self.network.is_connected(origin):
+            return None
         connected = [
             node for node in self.nodes if self.network.is_connected(node.node_id)
         ]
-        if not self.network.is_connected(origin):
-            return None
-        if len(connected) == self.num_nodes:
+        if self.placement.is_full:
+            if len(connected) == self.num_nodes:
+                ordered = [self.nodes[origin]] + [
+                    n for n in self.nodes if n.node_id != origin
+                ]
+                return ordered
+            if not self.quorum_enabled:
+                return None
+            if not self.quorum_config.is_write_quorum(len(connected)):
+                return None
             ordered = [self.nodes[origin]] + [
-                n for n in self.nodes if n.node_id != origin
+                n for n in connected if n.node_id != origin
             ]
             return ordered
-        if not self.quorum_enabled:
-            return None
-        if not self.quorum_config.is_write_quorum(len(connected)):
-            return None
-        ordered = [self.nodes[origin]] + [
+        connected_ids = {node.node_id for node in connected}
+        for oid in {op.oid for op in ops if not op.is_read}:
+            replicas = self.placement.replicas(oid)
+            live = sum(1 for r in replicas if r in connected_ids)
+            if self.quorum_enabled:
+                if not QuorumConfig.majority(len(replicas)).is_write_quorum(live):
+                    return None
+            elif live < len(replicas):
+                return None
+        return [self.nodes[origin]] + [
             n for n in connected if n.node_id != origin
         ]
-        return ordered
 
     # ------------------------------------------------------------------ #
     # quorum catch-up
@@ -140,7 +177,9 @@ class EagerGroupSystem(ReplicatedSystem):
 
         "When a node joins the quorum, the quorum sends the new node all
         replica updates since the node was disconnected."  The network's
-        store-and-forward queues deliver these on reconnect.
+        store-and-forward queues deliver these on reconnect.  Under a
+        partial placement each absent node receives only the updates for
+        objects it replicates.
         """
         if len(participants) == self.num_nodes:
             return
@@ -159,7 +198,16 @@ class EagerGroupSystem(ReplicatedSystem):
         for node in self.nodes:
             if node.node_id in participant_ids:
                 continue
-            self.network.send(origin, node.node_id, "catchup", updates)
+            if self.placement.is_full:
+                needed = updates
+            else:
+                needed = [
+                    u for u in updates
+                    if self._node_holds(u.oid, node.node_id)
+                ]
+                if not needed:
+                    continue
+            self.network.send(origin, node.node_id, "catchup", needed)
 
     def handle_message(self, node: NodeContext, msg: Message):
         if msg.kind != "catchup":

@@ -47,9 +47,20 @@ class EagerMasterSystem(ReplicatedSystem):
         self.ownership = (
             dict(ownership)
             if ownership is not None
-            else round_robin_ownership(self.db_size, self.num_nodes)
+            else self._placement_ownership()
         )
         self._validate_ownership()
+
+    def _placement_ownership(self) -> Dict[int, int]:
+        """Default ownership from the placement directory.
+
+        Full replication yields the classic round-robin ``oid % nodes``;
+        a partial placement masters each object at the first node of its
+        replica set (the HRW winner), so the owner always holds a copy.
+        """
+        return {
+            oid: self.placement.master(oid) for oid in range(self.db_size)
+        }
 
     def _validate_ownership(self) -> None:
         for oid in range(self.db_size):
@@ -57,6 +68,11 @@ class EagerMasterSystem(ReplicatedSystem):
             if master is None or not 0 <= master < self.num_nodes:
                 raise MasterUnavailableError(
                     f"object {oid} has no valid master (got {master!r})"
+                )
+            if not self._node_holds(oid, master):
+                raise MasterUnavailableError(
+                    f"object {oid} is mastered at node {master}, which holds "
+                    "no replica of it under the configured placement"
                 )
 
     def master_of(self, oid: int) -> NodeContext:
@@ -79,13 +95,21 @@ class EagerMasterSystem(ReplicatedSystem):
         try:
             for op in ops:
                 if op.is_read:
-                    yield from self.nodes[origin].tm.execute(txn, op)
+                    site = (
+                        self.nodes[origin]
+                        if self._node_holds(op.oid, origin)
+                        else self.master_of(op.oid)
+                    )
+                    yield from site.tm.execute(txn, op)
                     continue
                 # master first — the deadlock-avoidance mechanism — then the
-                # remaining replicas, all inside this transaction.
+                # remaining replicas, all inside this transaction.  Under a
+                # partial placement "the remaining replicas" is the object's
+                # replica set, not the whole system.
                 master = self.master_of(op.oid)
                 replicas = [master] + [
-                    n for n in self.nodes if n.node_id != master.node_id
+                    n for n in self._replica_nodes(op.oid)
+                    if n.node_id != master.node_id
                 ]
                 for node in replicas:
                     if node not in touched:
@@ -98,13 +122,31 @@ class EagerMasterSystem(ReplicatedSystem):
         self._commit_everywhere(txn, touched)
         return txn
 
+    def _replica_nodes(self, oid: int) -> List[NodeContext]:
+        """The nodes holding ``oid``, in node-id order."""
+        if self.placement.is_full:
+            return self.nodes
+        return [
+            self.nodes[node_id]
+            for node_id in sorted(self.placement.replicas(oid))
+        ]
+
     def _all_masters_reachable(self, origin: int, ops: Sequence[Operation]) -> bool:
         """Eager master needs every replica up (no quorum variant here):
-        the transaction writes all replicas synchronously."""
+        the transaction writes all replicas synchronously.  A partial
+        placement narrows "every replica" to the replica sets of the
+        objects this transaction writes."""
         if not self.network.is_connected(origin):
             return False
+        if self.placement.is_full:
+            return all(
+                self.network.is_connected(node.node_id) for node in self.nodes
+            )
         return all(
-            self.network.is_connected(node.node_id) for node in self.nodes
+            self.network.is_connected(node_id)
+            for op in ops
+            if not op.is_read
+            for node_id in self.placement.replicas(op.oid)
         )
 
     def handle_message(self, node: NodeContext, msg):  # pragma: no cover

@@ -68,27 +68,49 @@ class LazyGroupSystem(ReplicatedSystem):
     def _run(self, origin: int, ops: List[Operation], label: str):
         node = self.nodes[origin]
         txn = node.tm.begin(label=label)
+        # the origin is always in the release set; under a partial
+        # placement ops on non-resident objects execute at the object's
+        # master replica, which then joins the set
+        touched: List[NodeContext] = [node]
         try:
-            yield from self._execute_local(node, txn, ops)
+            if self.placement.is_full:
+                yield from self._execute_local(node, txn, ops)
+            else:
+                for op in ops:
+                    if self._node_holds(op.oid, origin):
+                        site = node
+                    else:
+                        site = self.nodes[self.placement.master(op.oid)]
+                        if site not in touched:
+                            touched.append(site)
+                        if self.network.message_delay > 0:
+                            # RPC round to the remote replica (same cost
+                            # model as lazy-master's remote-owner writes)
+                            yield self.engine.timeout(
+                                self.network.message_delay
+                            )
+                    yield from site.tm.execute(txn, op)
+                    if not op.is_read:
+                        self.metrics.actions += 1
         except DeadlockAbort as exc:
-            node.tm.finish_abort_local(txn)
+            for site in touched:
+                site.tm.finish_abort_local(txn)
             txn.mark_aborted(self.engine.now, reason=exc.reason)
             self.metrics.aborts += 1
             self._trace("abort", txn=txn.txn_id, reason=exc.reason,
                         node=txn.origin_node, start=txn.start_time)
             return txn
-        txn.mark_committed(self.engine.now)
-        node.tm.finish_commit_local(txn)
-        self.metrics.commits += 1
-        if self.history is not None:
-            self.history.mark_committed(txn.txn_id)
-        self._trace("commit", txn=txn.txn_id, origin=txn.origin_node,
-                    start=txn.start_time)
+        self._commit_everywhere(txn, touched)
         self._propagate(origin, txn)
         return txn
 
     def _propagate(self, origin: int, txn) -> None:
-        """One lazy replica-update transaction per remote node (Figure 1)."""
+        """One lazy replica-update transaction per remote node (Figure 1).
+
+        Under a partial placement each update travels only to the other
+        members of its object's replica set; nodes holding none of the
+        written objects receive nothing.
+        """
         if not txn.updates:
             return
         updates = [
@@ -102,11 +124,34 @@ class LazyGroupSystem(ReplicatedSystem):
             )
             for u in txn.updates
         ]
+        if self.placement.is_full:
+            for node in self.nodes:
+                if node.node_id == origin:
+                    continue
+                self.network.send(
+                    origin, node.node_id, "replica-update", (updates, 0)
+                )
+            return
+        # where did the root execute each update?  that replica is already
+        # current and must not receive a redundant (and reconciliation-
+        # counting) copy
+        executed_at = {
+            u.oid: (
+                origin if self._node_holds(u.oid, origin)
+                else self.placement.master(u.oid)
+            )
+            for u in updates
+        }
         for node in self.nodes:
-            if node.node_id == origin:
+            needed = [
+                u for u in updates
+                if self._node_holds(u.oid, node.node_id)
+                and executed_at[u.oid] != node.node_id
+            ]
+            if not needed:
                 continue
             self.network.send(
-                origin, node.node_id, "replica-update", (updates, 0)
+                origin, node.node_id, "replica-update", (needed, 0)
             )
 
     # ------------------------------------------------------------------ #

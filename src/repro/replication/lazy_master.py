@@ -59,8 +59,21 @@ class LazyMasterSystem(ReplicatedSystem):
         self.ownership = (
             dict(ownership)
             if ownership is not None
-            else round_robin_ownership(self.db_size, self.num_nodes)
+            # placement default: round-robin under full replication, the
+            # HRW winner of each object's replica set under partial
+            else {
+                oid: self.placement.master(oid)
+                for oid in range(self.db_size)
+            }
         )
+        if not self.placement.is_full:
+            for oid, master in self.ownership.items():
+                if not self._node_holds(oid, master):
+                    raise MasterUnavailableError(
+                        f"object {oid} is mastered at node {master}, which "
+                        "holds no replica of it under the configured "
+                        "placement"
+                    )
         self.require_connected_masters = require_connected_masters
         self.master_broadcasts = master_broadcasts
         self.blocked_by_disconnect = 0
@@ -99,13 +112,16 @@ class LazyMasterSystem(ReplicatedSystem):
                     # committed-read at the local replica unless read locks
                     # are on, in which case the read-lock RPC goes to the
                     # master ("a read action should send read-lock RPCs to
-                    # the masters of any objects it reads").
+                    # the masters of any objects it reads").  A node holding
+                    # no replica of the object reads at the master too.
                     if self.nodes[origin].tm.lock_reads:
                         target = master
                         if target not in involved:
                             involved.append(target)  # S locks need releasing
-                    else:
+                    elif self._node_holds(op.oid, origin):
                         target = self.nodes[origin]
+                    else:
+                        target = master
                     yield from target.tm.execute(txn, op)
                     continue
                 if (
@@ -153,9 +169,13 @@ class LazyMasterSystem(ReplicatedSystem):
         for node in self.nodes:
             # a node that masters every written object is already current;
             # everyone else (including the originator, for remote-mastered
-            # objects) gets a slave refresh — N transactions total (Table 1)
+            # objects) gets a slave refresh — N transactions total (Table 1).
+            # A partial placement prunes further: only the object's replica
+            # set ever receives its updates.
             needed = [
-                u for u in updates if self.ownership[u.oid] != node.node_id
+                u for u in updates
+                if self.ownership[u.oid] != node.node_id
+                and self._node_holds(u.oid, node.node_id)
             ]
             if not needed:
                 continue

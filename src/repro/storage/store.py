@@ -16,7 +16,13 @@ from repro.storage.versioning import Timestamp
 
 
 class ObjectStore:
-    """All object replicas stored at one node.
+    """The object replicas stored at one node.
+
+    By default the store materialises the whole ``oid`` space (full
+    replication).  Under a partial placement only the node's shard is
+    materialised: pass ``oids`` with the resident subset and the store
+    allocates nothing for the rest — reading a non-resident object raises
+    ``KeyError``, which is a routing bug, not a data condition.
 
     Example::
 
@@ -25,13 +31,20 @@ class ObjectStore:
         store.write(7, record.value + 1, ts)
     """
 
-    def __init__(self, node_id: int, db_size: int, initial_value: Any = 0):
+    def __init__(
+        self,
+        node_id: int,
+        db_size: int,
+        initial_value: Any = 0,
+        oids: Optional[Iterable[int]] = None,
+    ):
         if db_size <= 0:
             raise ConfigurationError(f"db_size must be positive, got {db_size}")
         self.node_id = node_id
         self.db_size = db_size
+        resident = range(db_size) if oids is None else oids
         self._records: Dict[int, Record] = {
-            oid: Record(oid=oid, value=initial_value) for oid in range(db_size)
+            oid: Record(oid=oid, value=initial_value) for oid in resident
         }
 
     def read(self, oid: int) -> Record:
@@ -67,15 +80,16 @@ class ObjectStore:
         record.ts = ts
 
     def oids(self) -> Iterable[int]:
-        """All object identifiers in the database."""
-        return range(self.db_size)
+        """The object identifiers resident at this node."""
+        return self._records.keys()
 
     def snapshot(self) -> Dict[int, Any]:
         """Map oid -> value for divergence comparisons between nodes."""
         return {oid: rec.value for oid, rec in self._records.items()}
 
     def __len__(self) -> int:
-        return self.db_size
+        """Resident objects (== ``db_size`` under full replication)."""
+        return len(self._records)
 
     def __iter__(self) -> Iterator[Record]:
         return iter(self._records.values())
@@ -93,13 +107,31 @@ def divergence(stores: Iterable[ObjectStore]) -> int:
     This is the paper's "system delusion" metric: after quiescence and full
     propagation, any nonzero divergence means the replicas failed to
     converge.
+
+    All stores must hold the same keyspace.  Comparing shards holding
+    different objects would either silently report phantom agreement (a
+    missing key looks like "no difference") or phantom divergence; under
+    partial replication use the system-level
+    :meth:`~repro.replication.base.ReplicatedSystem.divergence`, which
+    compares each object across its own replica set.
     """
     snapshots = [store.snapshot() for store in stores]
     if len(snapshots) < 2:
         return 0
     first, rest = snapshots[0], snapshots[1:]
+    base_keys = first.keys()
+    for index, snap in enumerate(rest, start=1):
+        if snap.keys() != base_keys:
+            extra = len(snap.keys() - base_keys)
+            missing = len(base_keys - snap.keys())
+            raise ConfigurationError(
+                "divergence() needs identical keyspaces at every store, but "
+                f"store #{index} differs from store #0 ({missing} missing, "
+                f"{extra} extra objects) — these look like partial-replication "
+                "shards; compare per replica set via system.divergence()"
+            )
     differing = 0
     for oid, val in first.items():
-        if any(snap.get(oid) != val for snap in rest):
+        if any(snap[oid] != val for snap in rest):
             differing += 1
     return differing

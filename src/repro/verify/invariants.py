@@ -124,14 +124,20 @@ def check_all(system, expect_serializable: bool = False) -> InvariantReport:
 
 
 def divergence_report(system, limit: int = 10) -> Dict[int, List[Any]]:
-    """Map of diverged oid -> per-node values (up to ``limit`` objects)."""
+    """Map of diverged oid -> per-holder values (up to ``limit`` objects).
+
+    Under a partial placement only the nodes actually holding an object
+    are compared (a shard that never stored the object is not divergence);
+    under full replication every node holds everything and the report is
+    the classic all-nodes comparison.
+    """
     snapshots = [node.store.snapshot() for node in system.nodes]
     out: Dict[int, List[Any]] = {}
     if not snapshots:
         return out
-    for oid, value in snapshots[0].items():
-        values = [snap[oid] for snap in snapshots]
-        if any(v != value for v in values):
+    for oid in sorted(set().union(*(snap.keys() for snap in snapshots))):
+        values = [snap[oid] for snap in snapshots if oid in snap]
+        if any(v != values[0] for v in values):
             out[oid] = values
             if len(out) >= limit:
                 break
@@ -139,6 +145,16 @@ def divergence_report(system, limit: int = 10) -> Dict[int, List[Any]]:
 
 
 def conservation_total(system) -> Any:
-    """Sum of all object values at node 0 — for increment-only workloads
-    this must equal the sum of committed deltas (no lost updates)."""
-    return sum(system.nodes[0].store.snapshot().values())
+    """Sum over objects of the value held at each object's first holder —
+    for increment-only workloads on a converged system this must equal the
+    sum of committed deltas (no lost updates).  Under full replication this
+    is simply node 0's total."""
+    snapshots = [node.store.snapshot() for node in system.nodes]
+    total: Any = 0
+    seen = set()
+    for snap in snapshots:
+        for oid, value in snap.items():
+            if oid not in seen:
+                seen.add(oid)
+                total += value
+    return total

@@ -19,6 +19,7 @@ from typing import Dict, List
 from repro.core.acceptance import NonNegativeOutputs
 from repro.core.protocol import TwoTierSystem
 from repro.exceptions import ConfigurationError
+from repro.replication.base import SystemSpec
 from repro.txn.ops import IncrementOp
 
 
@@ -42,12 +43,14 @@ class CheckbookScenario:
         if self.accounts <= 0 or self.holders <= 0:
             raise ConfigurationError("accounts and holders must be positive")
         self.system = TwoTierSystem(
+            SystemSpec(
+                num_nodes=1 + self.holders,
+                db_size=self.accounts,
+                action_time=self.action_time,
+                seed=self.seed,
+                initial_value=self.initial_balance,
+            ),
             num_base=1,
-            num_mobile=self.holders,
-            db_size=self.accounts,
-            action_time=self.action_time,
-            seed=self.seed,
-            initial_value=self.initial_balance,
         )
         self._rng = random.Random(self.seed)
 

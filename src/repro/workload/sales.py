@@ -24,6 +24,7 @@ from repro.core.acceptance import (
 )
 from repro.core.protocol import TwoTierSystem
 from repro.exceptions import ConfigurationError
+from repro.replication.base import SystemSpec
 from repro.txn.ops import IncrementOp, WriteOp
 
 AISLE_LETTERS = ("C", "D")
@@ -72,11 +73,13 @@ class SalesScenario:
         if self.items <= 0 or self.seats <= 0 or self.salesmen <= 0:
             raise ConfigurationError("items, seats and salesmen must be positive")
         self.system = TwoTierSystem(
+            SystemSpec(
+                num_nodes=1 + self.salesmen,
+                db_size=3 * self.items + self.seats,
+                action_time=0.001,
+                seed=self.seed,
+            ),
             num_base=1,
-            num_mobile=self.salesmen,
-            db_size=3 * self.items + self.seats,
-            action_time=0.001,
-            seed=self.seed,
         )
         bank = self.system.nodes[0]
         for node in self.system.nodes:

@@ -16,6 +16,10 @@ Regenerate the goldens after an *intentional* behaviour change with::
     PYTHONPATH=src python -m tests.determinism_helpers --write
 
 and explain the regeneration in the commit message.
+
+``tests/data/partial_golden.json`` holds the analogous fingerprints for a
+partial placement (``hash:k=3``) run of every strategy; regenerate with
+``--write-partial``.
 """
 
 from __future__ import annotations
@@ -34,6 +38,9 @@ from repro.sim.tracing import Tracer
 from repro.txn.transaction import reset_txn_ids
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "determinism_golden.json"
+PARTIAL_GOLDEN_PATH = Path(__file__).parent / "data" / "partial_golden.json"
+_PARTIAL_SPEC = "hash:k=3"
+_PARTIAL_NODES = 5
 
 #: small but contended enough that every counter family ticks; the nonzero
 #: message delay keeps real traffic on the wire so the fault tap matters
@@ -85,6 +92,33 @@ def _build_config(name: str, tracer: Optional[Tracer]) -> ExperimentConfig:
     )
 
 
+def partial_case_names():
+    """One ``hash:k=3`` case per strategy, all on genuinely sharded stores."""
+    return [f"{strategy}/partial" for strategy in STRATEGIES]
+
+
+def _build_partial_config(name: str, tracer: Optional[Tracer]) -> ExperimentConfig:
+    from repro.placement import Placement
+
+    strategy = name.split("/")[0]
+    if strategy == "two-tier":
+        # a 4-node base tier so k=3 shards it, plus two cycling mobiles
+        params = _case_params(strategy).with_(nodes=2)
+        num_base = 4
+    else:
+        params = _case_params(strategy).with_(nodes=_PARTIAL_NODES)
+        num_base = 1
+    return ExperimentConfig(
+        strategy=strategy,
+        params=params,
+        duration=_DURATION,
+        seed=_SEED,
+        num_base=num_base,
+        placement=Placement.from_spec(_PARTIAL_SPEC),
+        tracer=tracer,
+    )
+
+
 def fingerprint(name: str) -> Dict[str, Any]:
     """Run one canonical case and reduce it to a comparable record.
 
@@ -106,27 +140,67 @@ def fingerprint(name: str) -> Dict[str, Any]:
     }
 
 
+def fingerprint_partial(name: str) -> Dict[str, Any]:
+    """Like :func:`fingerprint` for the hash:k=3 cases; also pins the
+    per-node shard sizes, which are part of the placement contract."""
+    reset_txn_ids()
+    reset_message_ids()
+    tracer = Tracer(limit=1_000_000)
+    result = run_experiment(_build_partial_config(name, tracer))
+    trace_lines = "\n".join(e.format() for e in tracer.events())
+    resident = result.extra["resident_objects"]
+    return {
+        "metrics": {k: v for k, v in sorted(result.metrics.as_dict().items())},
+        "divergence": result.divergence,
+        "end_time": round(result.end_time, 9),
+        "trace_events": len(tracer),
+        "trace_sha256": hashlib.sha256(trace_lines.encode()).hexdigest(),
+        "resident_max": resident["max"],
+        "resident_total": resident["total"],
+    }
+
+
 def load_golden() -> Dict[str, Any]:
     with GOLDEN_PATH.open(encoding="utf-8") as fh:
         return json.load(fh)
 
 
-def write_golden() -> Dict[str, Any]:
-    golden = {name: fingerprint(name) for name in case_names()}
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    with GOLDEN_PATH.open("w", encoding="utf-8") as fh:
+def load_partial_golden() -> Dict[str, Any]:
+    with PARTIAL_GOLDEN_PATH.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _write(path: Path, golden: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
         json.dump(golden, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def write_golden() -> Dict[str, Any]:
+    golden = {name: fingerprint(name) for name in case_names()}
+    _write(GOLDEN_PATH, golden)
+    return golden
+
+
+def write_partial_golden() -> Dict[str, Any]:
+    golden = {name: fingerprint_partial(name) for name in partial_case_names()}
+    _write(PARTIAL_GOLDEN_PATH, golden)
     return golden
 
 
 if __name__ == "__main__":
     import sys
 
-    if "--write" not in sys.argv:
+    if "--write" in sys.argv:
+        golden = write_golden()
+        print(f"wrote {len(golden)} fingerprints to {GOLDEN_PATH}")
+    elif "--write-partial" in sys.argv:
+        golden = write_partial_golden()
+        print(f"wrote {len(golden)} fingerprints to {PARTIAL_GOLDEN_PATH}")
+    else:
         raise SystemExit(
-            "usage: python -m tests.determinism_helpers --write\n"
-            "(regenerates tests/data/determinism_golden.json)"
+            "usage: python -m tests.determinism_helpers --write | --write-partial\n"
+            "(regenerates tests/data/determinism_golden.json or "
+            "tests/data/partial_golden.json)"
         )
-    golden = write_golden()
-    print(f"wrote {len(golden)} fingerprints to {GOLDEN_PATH}")

@@ -15,15 +15,17 @@ from repro.core import (
 )
 from repro.core.tentative import TentativeStatus
 from repro.txn.ops import IncrementOp, ReadOp, WriteOp
+from repro.replication import SystemSpec
 
 
 def make(cascade=True, **kw):
-    kw.setdefault("num_base", 1)
-    kw.setdefault("num_mobile", 1)
+    num_base = kw.pop("num_base", 1)
+    num_mobile = kw.pop("num_mobile", 1)
     kw.setdefault("db_size", 10)
     kw.setdefault("action_time", 0.001)
     kw.setdefault("initial_value", 100)
-    return TwoTierSystem(cascade_rejections=cascade, **kw)
+    return TwoTierSystem(SystemSpec(num_nodes=num_base + num_mobile, **kw),
+                         num_base=num_base, cascade_rejections=cascade)
 
 
 def test_dependent_transaction_cascades():

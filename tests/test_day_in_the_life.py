@@ -18,6 +18,7 @@ from repro.verify.invariants import check_all, conservation_total
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.mobile_cycle import MobileCycleDriver
 from repro.workload.profiles import uniform_update_profile
+from repro.replication import SystemSpec
 
 BASES = 3
 MOBILES = 4
@@ -28,9 +29,11 @@ DAY = 120.0
 
 @pytest.fixture(scope="module")
 def completed_day():
-    system = TwoTierSystem(num_base=BASES, num_mobile=MOBILES, db_size=DB,
-                           action_time=0.001, seed=42,
-                           initial_value=OPENING_BALANCE)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=BASES + MOBILES, db_size=DB, action_time=0.001,
+                   seed=42, initial_value=OPENING_BALANCE),
+        num_base=BASES,
+    )
 
     # connected OLTP at the bases (commutative debits/credits)
     oltp = WorkloadGenerator(
@@ -103,8 +106,11 @@ def test_determinism_of_the_whole_day():
     """The entire composite scenario replays bit-identically."""
 
     def run_day():
-        system = TwoTierSystem(num_base=2, num_mobile=2, db_size=30,
-                               action_time=0.001, seed=7, initial_value=100)
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=4, db_size=30, action_time=0.001, seed=7,
+                       initial_value=100),
+            num_base=2,
+        )
         oltp = WorkloadGenerator(
             system,
             uniform_update_profile(actions=2, db_size=30, commutative=True),
@@ -129,9 +135,11 @@ def test_determinism_of_the_whole_day():
 def test_conservation_under_commutative_day():
     """With AlwaysAccept and commutative ops, nothing is ever lost: the
     final total equals opening total plus every committed delta."""
-    system = TwoTierSystem(num_base=2, num_mobile=2, db_size=20,
-                           action_time=0.001, seed=9, initial_value=0,
-                           record_history=True)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=4, db_size=20, action_time=0.001, seed=9,
+                   initial_value=0, record_history=True),
+        num_base=2,
+    )
     fleet = MobileCycleDriver(
         system,
         uniform_update_profile(actions=2, db_size=20, commutative=True),

@@ -3,12 +3,15 @@
 import pytest
 
 from repro.replication.eager_group import EagerGroupSystem
+from repro.replication import SystemSpec
 from repro.txn.ops import IncrementOp, ReadOp, WriteOp
 
 
 def make(num_nodes=3, db_size=20, **kw):
     kw.setdefault("action_time", 0.01)
-    return EagerGroupSystem(num_nodes=num_nodes, db_size=db_size, **kw)
+    extras = {k: kw.pop(k) for k in ("quorum", "parallel_updates") if k in kw}
+    return EagerGroupSystem(
+        SystemSpec(num_nodes=num_nodes, db_size=db_size, **kw), **extras)
 
 
 def test_update_applied_at_every_replica():

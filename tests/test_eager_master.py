@@ -9,11 +9,14 @@ from repro.replication.eager_master import (
     single_master_ownership,
 )
 from repro.txn.ops import IncrementOp, WriteOp
+from repro.replication import SystemSpec
 
 
 def make(num_nodes=3, db_size=12, **kw):
     kw.setdefault("action_time", 0.01)
-    return EagerMasterSystem(num_nodes=num_nodes, db_size=db_size, **kw)
+    extras = {k: kw.pop(k) for k in ("ownership",) if k in kw}
+    return EagerMasterSystem(
+        SystemSpec(num_nodes=num_nodes, db_size=db_size, **kw), **extras)
 
 
 class TestOwnership:

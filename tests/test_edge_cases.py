@@ -4,6 +4,7 @@ import pytest
 
 from repro.exceptions import ProcessKilled, ScopeViolationError
 from repro.sim import Engine
+from repro.replication import SystemSpec
 
 
 class TestEngineEdges:
@@ -149,8 +150,11 @@ class TestTwoTierEdges:
         from repro.core import TwoTierSystem
         from repro.txn.ops import WriteOp
 
-        system = TwoTierSystem(num_base=1, num_mobile=1, db_size=4,
-                               mobile_mastered={3: 1})
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=2, db_size=4),
+            num_base=1,
+            mobile_mastered={3: 1},
+        )
         with pytest.raises(ScopeViolationError):
             system.submit_local(1, [WriteOp(0, 5)])  # base-mastered object
 
@@ -158,9 +162,12 @@ class TestTwoTierEdges:
         from repro.core import AlwaysAccept, TwoTierSystem
         from repro.txn.ops import IncrementOp, ReadOp
 
-        system = TwoTierSystem(num_base=1, num_mobile=1, db_size=4,
-                               mobile_mastered={3: 1}, initial_value=10,
-                               action_time=0.001)
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=2, db_size=4, initial_value=10,
+                       action_time=0.001),
+            num_base=1,
+            mobile_mastered={3: 1},
+        )
         mobile = system.mobile(1)
         system.disconnect_mobile(1)
         # a tentative write to the mobile-mastered object's *overlay*
@@ -176,8 +183,10 @@ class TestTwoTierEdges:
         from repro.core import AlwaysAccept, TwoTierSystem
         from repro.txn.ops import ReadOp
 
-        system = TwoTierSystem(num_base=1, num_mobile=1, db_size=4,
-                               action_time=0.001)
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=2, db_size=4, action_time=0.001),
+            num_base=1,
+        )
         mobile = system.mobile(1)
         system.disconnect_mobile(1)
         mobile.submit_tentative([ReadOp(0)], AlwaysAccept())

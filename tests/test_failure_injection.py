@@ -12,12 +12,15 @@ from repro.replication.eager_group import EagerGroupSystem
 from repro.replication.lazy_group import LazyGroupSystem
 from repro.replication.lazy_master import LazyMasterSystem
 from repro.txn.ops import IncrementOp, WriteOp
+from repro.replication import SystemSpec
 
 
 class TestMidFlightDisconnects:
     def test_lazy_group_node_dies_during_propagation_and_heals(self):
-        system = LazyGroupSystem(num_nodes=3, db_size=10, action_time=0.001,
-                                 message_delay=2.0, seed=1)
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=3, db_size=10, action_time=0.001,
+                       message_delay=2.0, seed=1),
+        )
         system.submit(0, [WriteOp(0, 1)])
         system.run(until=1.0)  # replica updates still in flight
         system.network.disconnect(2)
@@ -28,8 +31,10 @@ class TestMidFlightDisconnects:
         assert system.converged()
 
     def test_lazy_master_slave_dies_and_heals_mid_broadcast(self):
-        system = LazyMasterSystem(num_nodes=3, db_size=9, action_time=0.001,
-                                  message_delay=1.0, seed=2)
+        system = LazyMasterSystem(
+            SystemSpec(num_nodes=3, db_size=9, action_time=0.001,
+                       message_delay=1.0, seed=2),
+        )
         system.submit(0, [WriteOp(0, 11)])  # master: node 0
         system.run(until=0.5)
         system.network.disconnect(1)
@@ -42,8 +47,10 @@ class TestMidFlightDisconnects:
         assert system.converged()
 
     def test_repeated_flapping_still_converges(self):
-        system = LazyGroupSystem(num_nodes=3, db_size=6, action_time=0.001,
-                                 message_delay=0.5, seed=3)
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=3, db_size=6, action_time=0.001,
+                       message_delay=0.5, seed=3),
+        )
         for round_number in range(5):
             victim = round_number % 3
             system.network.disconnect(victim)
@@ -60,8 +67,9 @@ class TestReorderedPropagation:
     def test_out_of_order_slave_updates_converge_by_timestamp(self):
         """A slow first broadcast arrives after a fast second one; the stale
         install must be suppressed, not regress the replica."""
-        system = LazyMasterSystem(num_nodes=2, db_size=4, action_time=0.0,
-                                  seed=4)
+        system = LazyMasterSystem(
+            SystemSpec(num_nodes=2, db_size=4, action_time=0.0, seed=4),
+        )
         oid = 0  # mastered at node 0
         # send the first update with a large extra delay by disconnecting
         # the slave so the first broadcast parks, then committing a second
@@ -78,8 +86,9 @@ class TestReorderedPropagation:
     def test_duplicate_and_stale_deliveries_are_harmless(self):
         from repro.replication.base import ReplicaUpdate
 
-        system = LazyMasterSystem(num_nodes=2, db_size=4, action_time=0.0,
-                                  seed=5)
+        system = LazyMasterSystem(
+            SystemSpec(num_nodes=2, db_size=4, action_time=0.0, seed=5),
+        )
         p = system.submit(0, [WriteOp(1, 7)])
         system.run()
         txn = p.value
@@ -99,8 +108,9 @@ class TestReorderedPropagation:
 
 class TestDeadlockStorms:
     def test_all_pairs_opposite_orders(self):
-        system = EagerGroupSystem(num_nodes=4, db_size=3, action_time=0.002,
-                                  seed=6)
+        system = EagerGroupSystem(
+            SystemSpec(num_nodes=4, db_size=3, action_time=0.002, seed=6),
+        )
         submitted = 0
         for origin in range(4):
             system.submit(origin, [WriteOp(0, origin), WriteOp(1, origin),
@@ -115,9 +125,10 @@ class TestDeadlockStorms:
             node.tm.assert_quiescent()
 
     def test_retry_until_success_under_storm(self):
-        system = EagerGroupSystem(num_nodes=3, db_size=2, action_time=0.002,
-                                  seed=7, retry_deadlocks=True,
-                                  max_retries=100)
+        system = EagerGroupSystem(
+            SystemSpec(num_nodes=3, db_size=2, action_time=0.002, seed=7,
+                       retry_deadlocks=True, max_retries=100),
+        )
         processes = []
         for origin in range(3):
             for _ in range(4):
@@ -136,9 +147,11 @@ class TestDeadlockStorms:
 
 class TestTwoTierAdversity:
     def test_mobile_disconnects_again_before_notices_arrive(self):
-        system = TwoTierSystem(num_base=1, num_mobile=1, db_size=4,
-                               action_time=0.001, message_delay=1.0,
-                               initial_value=100)
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=2, db_size=4, action_time=0.001,
+                       message_delay=1.0, initial_value=100),
+            num_base=1,
+        )
         mobile = system.mobile(1)
         system.disconnect_mobile(1)
         mobile.submit_tentative([IncrementOp(0, -10)], AlwaysAccept())
@@ -154,8 +167,11 @@ class TestTwoTierAdversity:
         assert system.base_divergence() == 0
 
     def test_base_node_load_during_replay_storm(self):
-        system = TwoTierSystem(num_base=2, num_mobile=4, db_size=6,
-                               action_time=0.001, initial_value=50, seed=8)
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=6, db_size=6, action_time=0.001,
+                       initial_value=50, seed=8),
+            num_base=2,
+        )
         for mid in system.mobiles:
             system.disconnect_mobile(mid)
         for mobile in system.mobiles.values():

@@ -21,6 +21,7 @@ from repro.replication.lazy_master import LazyMasterSystem
 from repro.txn.ops import IncrementOp
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import uniform_update_profile
+from repro.replication import SystemSpec
 
 ALL_SYSTEMS = [EagerGroupSystem, EagerMasterSystem, LazyGroupSystem,
                LazyMasterSystem]
@@ -28,7 +29,8 @@ ALL_SYSTEMS = [EagerGroupSystem, EagerMasterSystem, LazyGroupSystem,
 
 @pytest.mark.parametrize("cls", ALL_SYSTEMS)
 def test_light_load_converges_everywhere(cls):
-    system = cls(num_nodes=3, db_size=100, action_time=0.001, seed=1)
+    system = cls(SystemSpec(num_nodes=3, db_size=100, action_time=0.001,
+                            seed=1))
     workload = WorkloadGenerator(
         system, uniform_update_profile(actions=2, db_size=100), tps=2.0
     )
@@ -41,7 +43,7 @@ def test_light_load_converges_everywhere(cls):
 @pytest.mark.parametrize("cls", [EagerGroupSystem, EagerMasterSystem,
                                  LazyMasterSystem])
 def test_serializable_strategies_never_reconcile(cls):
-    system = cls(num_nodes=3, db_size=30, action_time=0.002, seed=2)
+    system = cls(SystemSpec(num_nodes=3, db_size=30, action_time=0.002, seed=2))
     workload = WorkloadGenerator(
         system, uniform_update_profile(actions=3, db_size=30), tps=4.0
     )
@@ -54,8 +56,8 @@ def test_serializable_strategies_never_reconcile(cls):
                                  LazyMasterSystem])
 def test_increment_conservation_under_serializable_execution(cls):
     """No lost updates: the final value equals the committed-delta sum."""
-    system = cls(num_nodes=3, db_size=10, action_time=0.001, seed=3,
-                 retry_deadlocks=True)
+    system = cls(SystemSpec(num_nodes=3, db_size=10, action_time=0.001, seed=3,
+                            retry_deadlocks=True))
     submitted = []
     for origin in range(3):
         for i in range(8):
@@ -70,8 +72,8 @@ def test_lazy_group_loses_updates_where_lazy_master_does_not():
     """The decisive difference between the lazy columns of Table 1."""
 
     def final_total(cls, **kw):
-        system = cls(num_nodes=3, db_size=5, action_time=0.001,
-                     message_delay=1.0, seed=4, **kw)
+        system = cls(SystemSpec(num_nodes=3, db_size=5, action_time=0.001,
+                                message_delay=1.0, seed=4), **kw)
         for origin in range(3):
             system.submit(origin, [IncrementOp(0, 1)])
         system.run()
@@ -121,7 +123,8 @@ def test_eager_deadlocks_exceed_lazy_master_deadlocks_at_scale():
 
 def test_all_locks_released_after_quiescence():
     for cls in ALL_SYSTEMS:
-        system = cls(num_nodes=2, db_size=20, action_time=0.001, seed=7)
+        system = cls(SystemSpec(num_nodes=2, db_size=20, action_time=0.001,
+                                seed=7))
         workload = WorkloadGenerator(
             system, uniform_update_profile(actions=2, db_size=20), tps=3.0
         )

@@ -16,11 +16,14 @@ from repro.verify.invariants import (
     conservation_total,
     divergence_report,
 )
+from repro.replication import SystemSpec
 
 
 def healthy_system():
-    system = EagerGroupSystem(num_nodes=2, db_size=6, action_time=0.001,
-                              record_history=True)
+    system = EagerGroupSystem(
+        SystemSpec(num_nodes=2, db_size=6, action_time=0.001,
+                   record_history=True),
+    )
     system.submit(0, [IncrementOp(0, 5)])
     system.submit(1, [IncrementOp(1, 7)])
     system.run()
@@ -56,9 +59,11 @@ class TestChecks:
         }
 
     def test_divergence_detected(self):
-        system = LazyGroupSystem(num_nodes=2, db_size=4, action_time=0.001,
-                                 message_delay=1.0,
-                                 rule=ManualReconciliation())
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=2, db_size=4, action_time=0.001,
+                       message_delay=1.0),
+            rule=ManualReconciliation(),
+        )
         system.submit(0, [WriteOp(0, 1)])
         system.submit(1, [WriteOp(0, 2)])
         system.run()
@@ -86,14 +91,15 @@ class TestChecks:
         assert not report.ok
 
     def test_serializability_check_skips_without_history(self):
-        system = EagerGroupSystem(num_nodes=2, db_size=4)
+        system = EagerGroupSystem(SystemSpec(num_nodes=2, db_size=4))
         report = check_serializable(system)
         assert report.ok
 
     def test_serializability_failure_detected(self):
-        system = LazyGroupSystem(num_nodes=3, db_size=2, action_time=0.001,
-                                 message_delay=0.5, seed=0,
-                                 record_history=True)
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=3, db_size=2, action_time=0.001,
+                       message_delay=0.5, seed=0, record_history=True),
+        )
         for origin in range(3):
             system.submit(origin, [IncrementOp(0, 1)])
         system.run()

@@ -8,11 +8,14 @@ from repro.replication.reconciliation import (
     MergeCommutative,
 )
 from repro.txn.ops import IncrementOp, WriteOp
+from repro.replication import SystemSpec
 
 
 def make(num_nodes=3, db_size=20, **kw):
     kw.setdefault("action_time", 0.01)
-    return LazyGroupSystem(num_nodes=num_nodes, db_size=db_size, **kw)
+    extras = {k: kw.pop(k) for k in ("rule", "propagate_ops") if k in kw}
+    return LazyGroupSystem(
+        SystemSpec(num_nodes=num_nodes, db_size=db_size, **kw), **extras)
 
 
 def test_root_commits_locally_then_propagates():

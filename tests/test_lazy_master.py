@@ -3,12 +3,18 @@
 import pytest
 
 from repro.replication.lazy_master import LazyMasterSystem
+from repro.replication import SystemSpec
 from repro.txn.ops import IncrementOp, ReadOp, WriteOp
 
 
 def make(num_nodes=3, db_size=12, **kw):
     kw.setdefault("action_time", 0.01)
-    return LazyMasterSystem(num_nodes=num_nodes, db_size=db_size, **kw)
+    extras = {k: kw.pop(k)
+              for k in ("ownership", "require_connected_masters",
+                        "master_broadcasts")
+              if k in kw}
+    return LazyMasterSystem(
+        SystemSpec(num_nodes=num_nodes, db_size=db_size, **kw), **extras)
 
 
 def test_update_executes_at_master_then_propagates():

@@ -7,11 +7,15 @@ from repro.core.protocol import TwoTierSystem
 from repro.exceptions import ConfigurationError
 from repro.workload.mobile_cycle import MobileCycleDriver
 from repro.workload.profiles import uniform_update_profile
+from repro.replication import SystemSpec
 
 
 def make_system(num_mobile=2, db_size=40):
-    return TwoTierSystem(num_base=1, num_mobile=num_mobile, db_size=db_size,
-                         action_time=0.001, seed=0)
+    return TwoTierSystem(
+        SystemSpec(num_nodes=1 + num_mobile, db_size=db_size,
+                   action_time=0.001, seed=0),
+        num_base=1,
+    )
 
 
 def test_cycles_complete_and_tentative_work_happens():

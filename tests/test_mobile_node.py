@@ -6,15 +6,19 @@ from repro.core import AlwaysAccept, TwoTierSystem
 from repro.core.tentative import TentativeStatus
 from repro.exceptions import InvalidStateError
 from repro.txn.ops import IncrementOp, ReadOp, WriteOp
+from repro.replication import SystemSpec
 
 
 def make(**kw):
-    kw.setdefault("num_base", 1)
-    kw.setdefault("num_mobile", 2)
+    num_base = kw.pop("num_base", 1)
+    num_mobile = kw.pop("num_mobile", 2)
     kw.setdefault("db_size", 10)
     kw.setdefault("action_time", 0.001)
     kw.setdefault("initial_value", 100)
-    return TwoTierSystem(**kw)
+    extras = {k: kw.pop(k) for k in ("mobile_mastered", "cascade_rejections")
+              if k in kw}
+    return TwoTierSystem(SystemSpec(num_nodes=num_base + num_mobile, **kw),
+                         num_base=num_base, **extras)
 
 
 def test_connected_property_tracks_network():

@@ -4,13 +4,14 @@ import pytest
 
 from repro.replication.eager_group import EagerGroupSystem
 from repro.txn.ops import IncrementOp, WriteOp
+from repro.replication import SystemSpec
 
 
 def make(parallel=True, **kw):
     kw.setdefault("num_nodes", 3)
     kw.setdefault("db_size", 20)
     kw.setdefault("action_time", 0.01)
-    return EagerGroupSystem(parallel_updates=parallel, **kw)
+    return EagerGroupSystem(SystemSpec(**kw), parallel_updates=parallel)
 
 
 def test_duration_independent_of_node_count():
@@ -26,8 +27,10 @@ def test_duration_independent_of_node_count():
 
 
 def test_sequential_duration_grows_with_nodes():
-    slow = EagerGroupSystem(num_nodes=8, db_size=20, action_time=0.01,
-                            parallel_updates=False)
+    slow = EagerGroupSystem(
+        SystemSpec(num_nodes=8, db_size=20, action_time=0.01),
+        parallel_updates=False,
+    )
     p = slow.submit(0, [WriteOp(0, 1), WriteOp(1, 2)])
     slow.run()
     assert p.value.duration == pytest.approx(0.16)
@@ -75,8 +78,10 @@ def test_parallel_deadlocks_fewer_than_sequential_at_scale():
 
     deadlocks = {}
     for parallel in (False, True):
-        system = EagerGroupSystem(num_nodes=6, db_size=80, action_time=0.01,
-                                  seed=1, parallel_updates=parallel)
+        system = EagerGroupSystem(
+            SystemSpec(num_nodes=6, db_size=80, action_time=0.01, seed=1),
+            parallel_updates=parallel,
+        )
         workload = WorkloadGenerator(
             system, uniform_update_profile(actions=3, db_size=80), tps=4.0
         )

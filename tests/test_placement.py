@@ -1,0 +1,173 @@
+"""Placement layer: rendezvous hashing determinism, balance, stability.
+
+The :class:`~repro.placement.HashShardPlacement` contract:
+
+* pure function of (seed, oid, node) — the same spec bound twice, or in
+  two different processes, yields identical replica sets;
+* highest-random-weight selection spreads the ``k`` replicas of a uniform
+  keyspace evenly across nodes (balance within ±20% of the mean);
+* adding a node moves only ~k/(N+1) of all (object, replica) assignments
+  — the minimal-disruption property that makes HRW a *stable* placement.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.placement import FullReplication, HashShardPlacement, Placement
+
+
+# --------------------------------------------------------------------- #
+# spec strings and serialisation
+# --------------------------------------------------------------------- #
+
+
+def test_from_spec_full():
+    spec = Placement.from_spec("full")
+    assert isinstance(spec, FullReplication)
+    assert spec.spec() == "full"
+
+
+def test_from_spec_hash_variants():
+    assert Placement.from_spec("hash:k=3") == HashShardPlacement(
+        replication_factor=3
+    )
+    assert Placement.from_spec("hash:k=3,seed=7") == HashShardPlacement(
+        replication_factor=3, placement_seed=7
+    )
+    assert Placement.from_spec("hash:replication_factor=2") == (
+        HashShardPlacement(replication_factor=2)
+    )
+    # bare "hash" takes the default factor
+    assert Placement.from_spec("hash") == HashShardPlacement()
+
+
+def test_spec_round_trips_through_string_and_dict():
+    for spec in (
+        FullReplication(),
+        HashShardPlacement(replication_factor=3),
+        HashShardPlacement(replication_factor=2, placement_seed=9),
+    ):
+        assert Placement.from_spec(spec.spec()) == spec
+        assert Placement.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("bad", [
+    "hash:k=0", "hash:k=x", "hash:wat=3", "mesh:k=3", "full:k=3",
+])
+def test_bad_specs_are_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        Placement.from_spec(bad)
+
+
+def test_from_dict_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError):
+        Placement.from_dict({"kind": "mesh"})
+
+
+# --------------------------------------------------------------------- #
+# full replication binding
+# --------------------------------------------------------------------- #
+
+
+def test_full_replication_masters_round_robin():
+    bound = FullReplication().bind(num_nodes=4, db_size=20)
+    assert bound.is_full
+    assert bound.replication_factor == 4
+    for oid in range(20):
+        assert bound.replicas(oid) == (0, 1, 2, 3)
+        assert bound.master(oid) == oid % 4
+    assert bound.objects_at(2) is None  # None means "everything"
+
+
+# --------------------------------------------------------------------- #
+# hash placement: determinism
+# --------------------------------------------------------------------- #
+
+
+def test_hash_placement_is_deterministic_across_bindings():
+    a = HashShardPlacement(replication_factor=3).bind(100, 500)
+    b = HashShardPlacement(replication_factor=3).bind(100, 500)
+    for oid in range(500):
+        assert a.replicas(oid) == b.replicas(oid)
+        assert a.master(oid) == b.master(oid)
+
+
+def test_hash_placement_seed_changes_layout():
+    a = HashShardPlacement(replication_factor=3).bind(20, 200)
+    b = HashShardPlacement(replication_factor=3, placement_seed=1).bind(20, 200)
+    assert any(a.replicas(oid) != b.replicas(oid) for oid in range(200))
+
+
+def test_replicas_are_distinct_master_first():
+    bound = HashShardPlacement(replication_factor=3).bind(10, 100)
+    for oid in range(100):
+        replicas = bound.replicas(oid)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+        assert replicas[0] == bound.master(oid)
+        for node in replicas:
+            assert bound.is_replica(oid, node)
+
+
+def test_factor_capped_at_node_count_degrades_to_full():
+    bound = HashShardPlacement(replication_factor=5).bind(3, 50)
+    assert bound.is_full
+    assert bound.replication_factor == 3
+    assert bound.objects_at(1) is None
+
+
+# --------------------------------------------------------------------- #
+# balance
+# --------------------------------------------------------------------- #
+
+
+def test_shards_balance_within_20_percent():
+    nodes, db, k = 100, 10_000, 3
+    bound = HashShardPlacement(replication_factor=k).bind(nodes, db)
+    counts = bound.resident_counts()
+    assert sum(counts) == k * db
+    mean = k * db / nodes
+    for node, count in enumerate(counts):
+        assert abs(count - mean) <= 0.2 * mean, (
+            f"node {node} holds {count} objects; mean is {mean:.0f}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# stability under node addition (the HRW minimal-disruption property)
+# --------------------------------------------------------------------- #
+
+
+def test_adding_a_node_moves_few_assignments():
+    db, k = 2_000, 3
+    before = HashShardPlacement(replication_factor=k).bind(20, db)
+    after = HashShardPlacement(replication_factor=k).bind(21, db)
+    moved = sum(
+        len(set(before.replicas(oid)) - set(after.replicas(oid)))
+        for oid in range(db)
+    )
+    total = k * db
+    expected_fraction = k / 21  # each of an object's k slots moves w.p. ~1/(N+1)
+    assert moved / total < 2 * expected_fraction, (
+        f"{moved}/{total} assignments moved; HRW should move ~{expected_fraction:.1%}"
+    )
+    # and the surviving assignments are untouched: every object keeps at
+    # least k-1 of its old replicas on average
+    kept = total - moved
+    assert kept / total > 1 - 2 * expected_fraction
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        HashShardPlacement(replication_factor=0)
+    with pytest.raises(ConfigurationError):
+        HashShardPlacement(replication_factor=3, placement_seed=-1)
+    with pytest.raises(ConfigurationError):
+        HashShardPlacement(replication_factor=3).bind(0, 10)
+    with pytest.raises(ConfigurationError):
+        FullReplication().bind(3, 0)

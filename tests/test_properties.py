@@ -19,6 +19,7 @@ from repro.replication.lazy_master import LazyMasterSystem
 from repro.txn.ops import IncrementOp, WriteOp
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import uniform_update_profile
+from repro.replication import SystemSpec
 
 # simulation-heavy properties: keep example counts modest
 SIM_SETTINGS = settings(
@@ -38,8 +39,10 @@ topology = st.tuples(
 @given(topology, st.integers(1, 12))
 def test_eager_group_conserves_increments(topo, txns):
     nodes, db, seed = topo
-    system = EagerGroupSystem(num_nodes=nodes, db_size=db, action_time=0.001,
-                              seed=seed, retry_deadlocks=True)
+    system = EagerGroupSystem(
+        SystemSpec(num_nodes=nodes, db_size=db, action_time=0.001, seed=seed,
+                   retry_deadlocks=True),
+    )
     processes = []
     rng_oid = seed
     for i in range(txns):
@@ -57,8 +60,10 @@ def test_eager_group_conserves_increments(topo, txns):
 @given(topology, st.integers(1, 10))
 def test_lazy_master_conserves_and_converges(topo, tps):
     nodes, db, seed = topo
-    system = LazyMasterSystem(num_nodes=nodes, db_size=db, action_time=0.001,
-                              seed=seed, retry_deadlocks=True)
+    system = LazyMasterSystem(
+        SystemSpec(num_nodes=nodes, db_size=db, action_time=0.001, seed=seed,
+                   retry_deadlocks=True),
+    )
     workload = WorkloadGenerator(
         system,
         uniform_update_profile(actions=min(2, db), db_size=db,
@@ -78,8 +83,10 @@ def test_lazy_master_conserves_and_converges(topo, tps):
 @given(topology)
 def test_lazy_group_timestamp_rule_always_converges(topo):
     nodes, db, seed = topo
-    system = LazyGroupSystem(num_nodes=nodes, db_size=db, action_time=0.001,
-                             message_delay=0.5, seed=seed)
+    system = LazyGroupSystem(
+        SystemSpec(num_nodes=nodes, db_size=db, action_time=0.001,
+                   message_delay=0.5, seed=seed),
+    )
     workload = WorkloadGenerator(
         system, uniform_update_profile(actions=min(2, db), db_size=db),
         tps=3.0,
@@ -101,9 +108,11 @@ def test_lazy_group_timestamp_rule_always_converges(topo):
              max_size=10),
 )
 def test_two_tier_base_never_diverges(num_base, num_mobile, db, seed, deltas):
-    system = TwoTierSystem(num_base=num_base, num_mobile=num_mobile,
-                           db_size=db, action_time=0.001, seed=seed,
-                           initial_value=100)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=num_base + num_mobile, db_size=db,
+                   action_time=0.001, seed=seed, initial_value=100),
+        num_base=num_base,
+    )
     mobile_ids = list(system.mobiles)
     for mid in mobile_ids:
         system.disconnect_mobile(mid)
@@ -132,9 +141,10 @@ def test_deterministic_replay(topo):
     nodes, db, seed = topo
 
     def run():
-        system = LazyGroupSystem(num_nodes=nodes, db_size=db,
-                                 action_time=0.002, message_delay=0.3,
-                                 seed=seed)
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=nodes, db_size=db, action_time=0.002,
+                       message_delay=0.3, seed=seed),
+        )
         workload = WorkloadGenerator(
             system, uniform_update_profile(actions=min(2, db), db_size=db),
             tps=4.0,
@@ -151,8 +161,9 @@ def test_deterministic_replay(topo):
 def test_opposite_lock_orders_always_resolve(nodes, seed):
     """Adversarial deadlock workload: every transaction pair takes opposite
     lock orders; the system must always terminate with consistent state."""
-    system = EagerGroupSystem(num_nodes=nodes, db_size=4, action_time=0.002,
-                              seed=seed)
+    system = EagerGroupSystem(
+        SystemSpec(num_nodes=nodes, db_size=4, action_time=0.002, seed=seed),
+    )
     for origin in range(nodes):
         system.submit(origin, [WriteOp(0, origin), WriteOp(1, origin)])
         system.submit(origin, [WriteOp(1, origin), WriteOp(0, origin)])

@@ -17,6 +17,7 @@ from repro.replication.lazy_master import LazyMasterSystem
 from repro.txn.ops import ReadOp, WriteOp
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import TransactionProfile
+from repro.replication import SystemSpec
 
 
 def read_write_factory(oid: int, rng: random.Random):
@@ -28,7 +29,8 @@ def read_write_factory(oid: int, rng: random.Random):
 @pytest.mark.parametrize("cls", [EagerGroupSystem, EagerMasterSystem,
                                  LazyMasterSystem])
 def test_read_only_transaction_releases_shared_locks(cls):
-    system = cls(num_nodes=3, db_size=10, action_time=0.001, lock_reads=True)
+    system = cls(SystemSpec(num_nodes=3, db_size=10, action_time=0.001,
+                            lock_reads=True))
     p = system.submit(1, [ReadOp(4), ReadOp(7)])
     system.run()
     assert p.value.state.value == "committed"
@@ -41,8 +43,8 @@ def test_read_only_transaction_releases_shared_locks(cls):
 @pytest.mark.parametrize("cls", [EagerGroupSystem, EagerMasterSystem,
                                  LazyMasterSystem])
 def test_mixed_read_write_workload_quiesces_under_read_locks(cls):
-    system = cls(num_nodes=3, db_size=40, action_time=0.005, lock_reads=True,
-                 seed=9)
+    system = cls(SystemSpec(num_nodes=3, db_size=40, action_time=0.005,
+                            lock_reads=True, seed=9))
     profile = TransactionProfile(actions=3, db_size=40,
                                  op_factory=read_write_factory)
     workload = WorkloadGenerator(system, profile, tps=3.0)
@@ -55,9 +57,11 @@ def test_mixed_read_write_workload_quiesces_under_read_locks(cls):
 
 
 def test_two_tier_base_replay_releases_read_locks():
-    system = TwoTierSystem(num_base=2, num_mobile=1, db_size=10,
-                           action_time=0.001, lock_reads=True,
-                           initial_value=5)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=3, db_size=10, action_time=0.001, lock_reads=True,
+                   initial_value=5),
+        num_base=2,
+    )
     mobile = system.mobile(2)
     system.disconnect_mobile(2)
     # tentative txn reads one object (mastered at base 1) and writes another

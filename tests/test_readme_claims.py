@@ -5,6 +5,7 @@ the README quickstart claims verbatim so the docs stay honest.
 """
 
 import pytest
+from repro.replication import SystemSpec
 
 
 def test_headline_three_liner():
@@ -22,8 +23,10 @@ def test_headline_three_liner():
 def test_checkbook_quickstart_snippet():
     from repro import TwoTierSystem, IncrementOp, NonNegativeOutputs
 
-    system = TwoTierSystem(num_base=1, num_mobile=2, db_size=1,
-                           initial_value=1000)
+    system = TwoTierSystem(
+        SystemSpec(num_nodes=3, db_size=1, initial_value=1000),
+        num_base=1,
+    )
     you, spouse = system.mobile(1), system.mobile(2)
     system.disconnect_mobile(1)
     system.disconnect_mobile(2)
@@ -58,7 +61,7 @@ def test_package_init_quickstart_snippet():
         eager.total_deadlock_rate(p)
     ) == pytest.approx(1000.0)
 
-    system = TwoTierSystem(num_base=2, num_mobile=1, db_size=100)
+    system = TwoTierSystem(SystemSpec(num_nodes=3, db_size=100), num_base=2)
     mobile = system.mobile(2)
     system.disconnect_mobile(2)
     mobile.submit_tentative([IncrementOp(7, -50)], NonNegativeOutputs())

@@ -14,6 +14,7 @@ from repro.replication.reconciliation import (
 from repro.storage.record import Record
 from repro.storage.versioning import Timestamp
 from repro.txn.ops import IncrementOp, WriteOp
+from repro.replication import SystemSpec
 
 
 def local(value=10, ts=Timestamp(5, 0)):
@@ -172,9 +173,11 @@ class TestAdditiveDifference:
         from repro.replication.lazy_group import LazyGroupSystem
         from repro.replication.reconciliation import AdditiveDifference
 
-        system = LazyGroupSystem(num_nodes=2, db_size=3, action_time=0.001,
-                                 message_delay=1.0,
-                                 rule=AdditiveDifference())
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=2, db_size=3, action_time=0.001,
+                       message_delay=1.0),
+            rule=AdditiveDifference(),
+        )
         system.submit(0, [IncrementOp(0, 100)])
         system.submit(1, [IncrementOp(0, 10)])
         system.run()
@@ -189,8 +192,10 @@ class TestAdditiveDifference:
         from repro.replication.reconciliation import AdditiveDifference
         from repro.storage.versioning import Timestamp as TS
 
-        system = LazyGroupSystem(num_nodes=2, db_size=3, action_time=0.001,
-                                 rule=AdditiveDifference())
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=2, db_size=3, action_time=0.001),
+            rule=AdditiveDifference(),
+        )
         system.submit(1, [IncrementOp(0, 1)])
         system.run()
         stale = ReplicaUpdate(oid=0, old_ts=TS(99, 0), new_ts=TS(100, 0),

@@ -18,6 +18,7 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, 
 
 from repro.core import AlwaysAccept, NonNegativeOutputs, TwoTierSystem
 from repro.txn.ops import IncrementOp, WriteOp
+from repro.replication import SystemSpec
 
 NUM_BASE = 2
 NUM_MOBILE = 2
@@ -30,13 +31,10 @@ class TwoTierMachine(RuleBasedStateMachine):
     def __init__(self):
         super().__init__()
         self.system = TwoTierSystem(
+            SystemSpec(num_nodes=NUM_BASE + NUM_MOBILE, db_size=DB,
+                       action_time=0.001, initial_value=OPENING, seed=0),
             num_base=NUM_BASE,
-            num_mobile=NUM_MOBILE,
-            db_size=DB,
             mobile_mastered=dict(MOBILE_OWNED),
-            action_time=0.001,
-            initial_value=OPENING,
-            seed=0,
         )
         self.mobile_ids = sorted(self.system.mobiles)
 

@@ -15,6 +15,7 @@ from repro.workload.tpcb import (
     TpcbProfile,
     branch_balance_invariant,
 )
+from repro.replication import SystemSpec
 
 
 class TestLayout:
@@ -98,9 +99,10 @@ class TestEndToEnd:
     def test_branch_invariant_holds_under_lazy_master(self):
         layout = TpcbLayout(branches=2)
         profile = TpcbProfile(layout, remote_fraction=0.0)
-        system = LazyMasterSystem(num_nodes=2, db_size=layout.db_size,
-                                  action_time=0.0005, seed=5,
-                                  retry_deadlocks=True)
+        system = LazyMasterSystem(
+            SystemSpec(num_nodes=2, db_size=layout.db_size, action_time=0.0005,
+                       seed=5, retry_deadlocks=True),
+        )
         workload = WorkloadGenerator(system, profile, tps=5.0)
         workload.start(duration=30.0)
         system.run()
@@ -111,9 +113,10 @@ class TestEndToEnd:
     def test_history_appends_accumulate(self):
         layout = TpcbLayout(branches=1)
         profile = TpcbProfile(layout)
-        system = LazyMasterSystem(num_nodes=2, db_size=layout.db_size,
-                                  action_time=0.0005, seed=6,
-                                  retry_deadlocks=True)
+        system = LazyMasterSystem(
+            SystemSpec(num_nodes=2, db_size=layout.db_size, action_time=0.0005,
+                       seed=6, retry_deadlocks=True),
+        )
         workload = WorkloadGenerator(system, profile, tps=5.0)
         workload.start(duration=20.0)
         system.run()

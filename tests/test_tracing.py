@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim.tracing import TraceEvent, Tracer
+from repro.replication import SystemSpec
 
 
 class TestTracerUnit:
@@ -63,8 +64,10 @@ class TestSystemTracing:
         from repro.txn.ops import WriteOp
 
         tracer = Tracer()
-        system = LazyGroupSystem(num_nodes=2, db_size=4, action_time=0.001,
-                                 message_delay=1.0, tracer=tracer)
+        system = LazyGroupSystem(
+            SystemSpec(num_nodes=2, db_size=4, action_time=0.001,
+                       message_delay=1.0, tracer=tracer),
+        )
         system.submit(0, [WriteOp(0, 1)])
         system.submit(1, [WriteOp(0, 2)])
         system.run()
@@ -79,8 +82,9 @@ class TestSystemTracing:
         from repro.txn.ops import WriteOp
 
         tracer = Tracer()
-        system = EagerGroupSystem(num_nodes=2, db_size=4, action_time=0.01,
-                                  tracer=tracer)
+        system = EagerGroupSystem(
+            SystemSpec(num_nodes=2, db_size=4, action_time=0.01, tracer=tracer),
+        )
         system.submit(0, [WriteOp(0, 1), WriteOp(1, 1)])
         system.submit(1, [WriteOp(1, 2), WriteOp(0, 2)])
         system.run()
@@ -95,9 +99,11 @@ class TestSystemTracing:
         from repro.txn.ops import IncrementOp
 
         tracer = Tracer()
-        system = TwoTierSystem(num_base=1, num_mobile=1, db_size=2,
-                               action_time=0.001, initial_value=10,
-                               tracer=tracer)
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=2, db_size=2, action_time=0.001,
+                       initial_value=10, tracer=tracer),
+            num_base=1,
+        )
         system.disconnect_mobile(1)
         system.mobile(1).submit_tentative(
             [IncrementOp(0, -50)], NonNegativeOutputs()

@@ -11,13 +11,17 @@ from repro.core import (
 from repro.core.tentative import TentativeStatus
 from repro.exceptions import ConfigurationError, ScopeViolationError
 from repro.txn.ops import IncrementOp, ReadOp, WriteOp
+from repro.replication import SystemSpec
 
 
 def make(num_base=2, num_mobile=2, db_size=20, **kw):
     kw.setdefault("action_time", 0.001)
     kw.setdefault("initial_value", 100)
-    return TwoTierSystem(num_base=num_base, num_mobile=num_mobile,
-                         db_size=db_size, **kw)
+    extras = {k: kw.pop(k) for k in ("mobile_mastered", "cascade_rejections")
+              if k in kw}
+    return TwoTierSystem(
+        SystemSpec(num_nodes=num_base + num_mobile, db_size=db_size, **kw),
+        num_base=num_base, **extras)
 
 
 class TestConstruction:
@@ -42,7 +46,7 @@ class TestConstruction:
 
     def test_needs_base_node(self):
         with pytest.raises(ConfigurationError):
-            TwoTierSystem(num_base=0, num_mobile=1, db_size=5)
+            TwoTierSystem(SystemSpec(num_nodes=1, db_size=5), num_base=0)
 
 
 class TestTentativeExecution:

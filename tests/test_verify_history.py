@@ -3,6 +3,7 @@
 import pytest
 
 from repro.verify import ConflictGraph, History
+from repro.replication import SystemSpec
 
 
 class TestHistoryRecording:
@@ -130,10 +131,11 @@ class TestSystemHistories:
         from repro.replication.eager_group import EagerGroupSystem
 
         for seed in range(3):
-            system = EagerGroupSystem(num_nodes=3, db_size=4,
-                                      action_time=0.002, seed=seed,
-                                      record_history=True,
-                                      retry_deadlocks=True)
+            system = EagerGroupSystem(
+                SystemSpec(num_nodes=3, db_size=4, action_time=0.002,
+                           seed=seed, record_history=True,
+                           retry_deadlocks=True),
+            )
             self._drive(system)
             graph = system.history.conflict_graph()
             assert graph.is_serializable(), graph.find_cycle()
@@ -141,9 +143,10 @@ class TestSystemHistories:
     def test_eager_master_histories_are_serializable(self):
         from repro.replication.eager_master import EagerMasterSystem
 
-        system = EagerMasterSystem(num_nodes=3, db_size=4, action_time=0.002,
-                                   seed=1, record_history=True,
-                                   retry_deadlocks=True)
+        system = EagerMasterSystem(
+            SystemSpec(num_nodes=3, db_size=4, action_time=0.002, seed=1,
+                       record_history=True, retry_deadlocks=True),
+        )
         self._drive(system)
         assert system.history.conflict_graph().is_serializable()
 
@@ -152,9 +155,10 @@ class TestSystemHistories:
         them in timestamp order, so the one-copy schedule stays clean."""
         from repro.replication.lazy_master import LazyMasterSystem
 
-        system = LazyMasterSystem(num_nodes=3, db_size=4, action_time=0.002,
-                                  seed=1, record_history=True,
-                                  retry_deadlocks=True)
+        system = LazyMasterSystem(
+            SystemSpec(num_nodes=3, db_size=4, action_time=0.002, seed=1,
+                       record_history=True, retry_deadlocks=True),
+        )
         self._drive(system)
         system.run()
         assert system.history.conflict_graph().is_serializable()
@@ -167,9 +171,10 @@ class TestSystemHistories:
 
         found_anomaly = False
         for seed in range(5):
-            system = LazyGroupSystem(num_nodes=3, db_size=2,
-                                     action_time=0.001, message_delay=0.5,
-                                     seed=seed, record_history=True)
+            system = LazyGroupSystem(
+                SystemSpec(num_nodes=3, db_size=2, action_time=0.001,
+                           message_delay=0.5, seed=seed, record_history=True),
+            )
             system.submit(0, [WriteOp(0, 111)])
             system.submit(1, [WriteOp(0, 222)])
             system.submit(2, [WriteOp(0, 333)])

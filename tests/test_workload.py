@@ -17,6 +17,7 @@ from repro.workload.profiles import (
     write_op_factory,
 )
 from repro.workload.schedule import DisconnectScheduler
+from repro.replication import SystemSpec
 
 
 class TestProfiles:
@@ -81,8 +82,9 @@ class TestProfiles:
 
 class TestGenerator:
     def test_submission_count_tracks_rate(self):
-        system = LazyMasterSystem(num_nodes=2, db_size=50, action_time=0.0,
-                                  seed=1)
+        system = LazyMasterSystem(
+            SystemSpec(num_nodes=2, db_size=50, action_time=0.0, seed=1),
+        )
         profile = uniform_update_profile(actions=2, db_size=50)
         workload = WorkloadGenerator(system, profile, tps=10.0)
         workload.start(duration=100.0)
@@ -96,8 +98,9 @@ class TestGenerator:
 
         # eager has no housekeeping transactions, so per-node begin counts
         # reflect user submissions only
-        system = EagerMasterSystem(num_nodes=4, db_size=50, action_time=0.0,
-                                   seed=1)
+        system = EagerMasterSystem(
+            SystemSpec(num_nodes=4, db_size=50, action_time=0.0, seed=1),
+        )
         profile = uniform_update_profile(actions=1, db_size=50)
         workload = WorkloadGenerator(system, profile, tps=5.0, node_ids=[1])
         workload.start(duration=20.0)
@@ -107,8 +110,10 @@ class TestGenerator:
 
     def test_deterministic_under_seed(self):
         def run(seed):
-            system = LazyMasterSystem(num_nodes=2, db_size=30,
-                                      action_time=0.001, seed=seed)
+            system = LazyMasterSystem(
+                SystemSpec(num_nodes=2, db_size=30, action_time=0.001,
+                           seed=seed),
+            )
             workload = WorkloadGenerator(
                 system, uniform_update_profile(actions=2, db_size=30), tps=5.0
             )
@@ -121,7 +126,7 @@ class TestGenerator:
         assert run(7) != run(8)
 
     def test_validation(self):
-        system = LazyMasterSystem(num_nodes=1, db_size=10)
+        system = LazyMasterSystem(SystemSpec(num_nodes=1, db_size=10))
         profile = uniform_update_profile(actions=1, db_size=10)
         with pytest.raises(ConfigurationError):
             WorkloadGenerator(system, profile, tps=0)
@@ -132,8 +137,9 @@ class TestGenerator:
 
 class TestDisconnectScheduler:
     def test_nodes_cycle_through_disconnects(self):
-        system = LazyMasterSystem(num_nodes=3, db_size=10, action_time=0.0,
-                                  seed=0)
+        system = LazyMasterSystem(
+            SystemSpec(num_nodes=3, db_size=10, action_time=0.0, seed=0),
+        )
         scheduler = DisconnectScheduler(system, disconnect_time=5.0,
                                         connected_time=1.0)
         scheduler.start(duration=30.0)
@@ -143,7 +149,7 @@ class TestDisconnectScheduler:
         assert all(system.network.is_connected(i) for i in range(3))
 
     def test_stagger_offsets_first_disconnects(self):
-        system = LazyMasterSystem(num_nodes=2, db_size=10, seed=0)
+        system = LazyMasterSystem(SystemSpec(num_nodes=2, db_size=10, seed=0))
         scheduler = DisconnectScheduler(system, disconnect_time=10.0,
                                         connected_time=0.0, stagger=3.0)
         scheduler.start(duration=12.0)
@@ -154,7 +160,7 @@ class TestDisconnectScheduler:
         assert not system.network.is_connected(1)
 
     def test_validation(self):
-        system = LazyMasterSystem(num_nodes=1, db_size=10)
+        system = LazyMasterSystem(SystemSpec(num_nodes=1, db_size=10))
         with pytest.raises(ConfigurationError):
             DisconnectScheduler(system, disconnect_time=0)
         with pytest.raises(ConfigurationError):
