@@ -1,0 +1,158 @@
+"""Markov fast-path benchmark: thousand-cell sweeps in seconds.
+
+The Markov track's reason to exist is throughput: parameter grids the DES
+grinds through in hours should fall out of the chain solver in seconds.
+This bench times a (nodes × txn-size × update-rate) grid of >= 1000 cells
+through :func:`repro.analytic.markov_strategies.predict`, times a small
+DES sample on the same regime for the speedup denominator, and records
+both to ``BENCH_markov.json`` for the CI artifact.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_markov_sweep.py -q
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analytic.parameters import ModelParameters
+from repro.analytic.markov_strategies import predict
+from repro.harness import ExperimentConfig, run_experiment
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_markov.json"
+
+#: the acceptance bar: the full grid in under this many wall-clock seconds
+TIME_BUDGET_SECONDS = 10.0
+
+STRATEGY = "eager-group"
+BASE = ModelParameters(db_size=500, nodes=2, tps=1.0, actions=2,
+                       action_time=0.01)
+
+# 10 x 10 x 12 = 1200 cells
+NODE_AXIS = tuple(range(2, 12))
+ACTION_AXIS = tuple(range(2, 12))
+TPS_AXIS = tuple(0.5 * i for i in range(1, 13))
+
+#: DES sample cells for the speedup denominator (virtual seconds each)
+DES_SAMPLE_NODES = (2, 4)
+DES_DURATION = 60.0
+
+
+def _run_grid():
+    """Solve every grid cell; return (elapsed, predictions)."""
+    started = time.perf_counter()
+    predictions = {}
+    for nodes in NODE_AXIS:
+        for actions in ACTION_AXIS:
+            for tps in TPS_AXIS:
+                p = BASE.with_(nodes=nodes, actions=actions, tps=tps)
+                predictions[(nodes, actions, tps)] = predict(STRATEGY, p)
+    return time.perf_counter() - started, predictions
+
+
+def _run_des_sample():
+    """Time a couple of DES cells on the same regime."""
+    started = time.perf_counter()
+    for nodes in DES_SAMPLE_NODES:
+        config = ExperimentConfig(
+            strategy=STRATEGY,
+            params=BASE.with_(nodes=nodes, tps=4.0, actions=3, db_size=80),
+            duration=DES_DURATION,
+            seed=0,
+        )
+        result = run_experiment(config)
+        assert result.metrics.commits > 0
+    return time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One full measurement, shared by the assertions, persisted for CI."""
+    markov_elapsed, predictions = _run_grid()
+    des_elapsed = _run_des_sample()
+    cells = len(predictions)
+    markov_per_cell = markov_elapsed / cells
+    des_per_cell = des_elapsed / len(DES_SAMPLE_NODES)
+    data = {
+        "schema": 1,
+        "strategy": STRATEGY,
+        "grid": {
+            "nodes": list(NODE_AXIS),
+            "actions": list(ACTION_AXIS),
+            "tps": list(TPS_AXIS),
+            "cells": cells,
+        },
+        "markov": {
+            "elapsed_seconds": markov_elapsed,
+            "cells_per_sec": cells / markov_elapsed,
+            "seconds_per_cell": markov_per_cell,
+        },
+        "des_sample": {
+            "cells": len(DES_SAMPLE_NODES),
+            "virtual_duration": DES_DURATION,
+            "elapsed_seconds": des_elapsed,
+            "seconds_per_cell": des_per_cell,
+        },
+        "speedup_per_cell": des_per_cell / markov_per_cell,
+        "time_budget_seconds": TIME_BUDGET_SECONDS,
+    }
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data, predictions
+
+
+def test_grid_is_at_least_1000_cells(payload):
+    data, predictions = payload
+    assert data["grid"]["cells"] >= 1000
+    assert len(predictions) == data["grid"]["cells"]
+
+
+def test_grid_completes_within_the_time_budget(payload):
+    data, _ = payload
+    assert data["markov"]["elapsed_seconds"] < TIME_BUDGET_SECONDS, (
+        f"{data['grid']['cells']} cells took "
+        f"{data['markov']['elapsed_seconds']:.2f}s; "
+        f"budget is {TIME_BUDGET_SECONDS}s"
+    )
+
+
+def test_solver_is_orders_of_magnitude_faster_than_des(payload):
+    data, _ = payload
+    assert data["speedup_per_cell"] > 10.0, (
+        "the fast path must beat the DES per cell by a wide margin, "
+        f"measured {data['speedup_per_cell']:.1f}x"
+    )
+
+
+def test_every_cell_is_finite_and_well_formed(payload):
+    _, predictions = payload
+    for key, pred in predictions.items():
+        assert sum(pred.pi) == pytest.approx(1.0, abs=1e-9), key
+        for value in (pred.commit_rate, pred.deadlock_rate,
+                      pred.wait_rate, pred.reconciliation_rate):
+            assert math.isfinite(value) and value >= 0.0, key
+
+
+def test_danger_grows_along_every_grid_axis(payload):
+    _, predictions = payload
+    mid_tps = TPS_AXIS[len(TPS_AXIS) // 2]
+    node_curve = [predictions[(n, 4, mid_tps)].deadlock_rate
+                  for n in NODE_AXIS]
+    action_curve = [predictions[(4, a, mid_tps)].deadlock_rate
+                    for a in ACTION_AXIS]
+    tps_curve = [predictions[(4, 4, t)].deadlock_rate for t in TPS_AXIS]
+    for curve in (node_curve, action_curve, tps_curve):
+        assert all(b >= a * (1 - 1e-9) for a, b in zip(curve, curve[1:]))
+        assert curve[-1] > curve[0] > 0.0
+
+
+def test_payload_written_with_ci_schema(payload):
+    data, _ = payload
+    stored = json.loads(BENCH_PATH.read_text())
+    assert stored == data
+    for key in ("schema", "strategy", "grid", "markov", "des_sample",
+                "speedup_per_cell"):
+        assert key in stored, f"CI artifact schema missing {key!r}"

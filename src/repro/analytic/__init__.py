@@ -22,6 +22,10 @@ layout follows the paper's sections:
 * :mod:`~repro.analytic.refinements` — exact (non-linearised) versions of
   the probability approximations, for checking the approximations' validity
   region.
+* :mod:`~repro.analytic.markov` / :mod:`~repro.analytic.markov_strategies`
+  — the Markov fast path: stationary-distribution solvers over per-strategy
+  transaction-state chains, a third model track between the closed forms
+  (instant, no feedback) and the DES (accurate, slow).
 * :mod:`~repro.analytic.scaling` — parameter sweeps and growth-exponent
   fitting used by the benchmarks.
 * :mod:`~repro.analytic.tables` — renderings of the paper's Table 1
@@ -34,13 +38,15 @@ from repro.analytic import (
     eager,
     lazy_group,
     lazy_master,
+    markov,
+    markov_strategies,
     partial,
     refinements,
     single_node,
     two_tier,
 )
 from repro.analytic.presets import PRESETS, preset
-from repro.analytic.scaling import fit_exponent, sweep
+from repro.analytic.scaling import fit_exponent, safe_fit_exponent, sweep
 
 __all__ = [
     "ModelParameters",
@@ -51,8 +57,11 @@ __all__ = [
     "two_tier",
     "partial",
     "dilation",
+    "markov",
+    "markov_strategies",
     "refinements",
     "fit_exponent",
+    "safe_fit_exponent",
     "sweep",
     "PRESETS",
     "preset",

@@ -10,8 +10,9 @@ log-log data, which is exactly how the benchmarks check each equation.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analytic.parameters import ModelParameters
 from repro.exceptions import ConfigurationError
@@ -56,14 +57,26 @@ def sweep(
 def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
     """Least-squares slope of log(y) against log(x).
 
-    For ``y = c * x^k`` the returned value is exactly ``k``.  Requires at
-    least two strictly positive points.
+    For ``y = c * x^k`` the returned value is exactly ``k``.  Cells with a
+    zero, negative, or non-finite coordinate cannot enter a log-space fit;
+    they are dropped with a :class:`RuntimeWarning` (short measured runs
+    routinely produce zero-event cells).  Requires at least two surviving
+    points, else raises :class:`~repro.exceptions.ConfigurationError`.
     """
+    pairs = list(zip(xs, ys))
     points = [
         (math.log(x), math.log(y))
-        for x, y in zip(xs, ys)
-        if x > 0 and y > 0
+        for x, y in pairs
+        if x > 0 and y > 0 and math.isfinite(x) and math.isfinite(y)
     ]
+    dropped = len(pairs) - len(points)
+    if dropped:
+        warnings.warn(
+            f"fit_exponent dropped {dropped} of {len(pairs)} cells with "
+            "zero, negative, or non-finite coordinates",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if len(points) < 2:
         raise ConfigurationError(
             "fit_exponent needs >= 2 points with positive x and y"
@@ -76,6 +89,22 @@ def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
         raise ConfigurationError("fit_exponent needs at least two distinct x values")
     sxy = sum((lx - mean_x) * (ly - mean_y) for lx, ly in points)
     return sxy / sxx
+
+
+def safe_fit_exponent(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Optional[float]:
+    """:func:`fit_exponent`, but ``None`` when a fit is impossible.
+
+    The tolerant variant the harness tables use: sparse campaigns (a short
+    run measuring zero deadlocks everywhere, a single-cell sweep) should
+    render an empty column, not crash the report.  Degenerate inputs still
+    emit the drop warning from :func:`fit_exponent`.
+    """
+    try:
+        return fit_exponent(xs, ys)
+    except ConfigurationError:
+        return None
 
 
 def amplification(fn: Callable[[ModelParameters], float],

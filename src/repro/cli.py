@@ -41,8 +41,9 @@ from repro.analytic import (
     partial,
     two_tier,
 )
+from repro.analytic import markov_strategies
 from repro.analytic.presets import PRESETS, preset
-from repro.analytic.scaling import fit_exponent, sweep
+from repro.analytic.scaling import safe_fit_exponent, sweep
 from repro.analytic.tables import render_table_1, render_table_2
 from repro.exceptions import ConfigurationError
 from repro.harness import ExperimentConfig, run_experiment
@@ -134,34 +135,47 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def cmd_danger(args: argparse.Namespace) -> int:
     params = _params(args)
     node_axis = sorted({1, 2, 5, 10, max(2, args.nodes)})
-    curves = [
-        ("eager deadlocks/s (eq 12)", eager.total_deadlock_rate),
-        ("lazy-group reconciliations/s (eq 14)",
-         lazy_group.reconciliation_rate),
-        ("lazy-master deadlocks/s (eq 19)", lazy_master.deadlock_rate),
-        ("two-tier base deadlocks/s", two_tier.base_deadlock_rate),
-    ]
     placement = _placement_spec(args)
     k = getattr(placement, "replication_factor", None)
-    if k is not None:
-        # partial-replication analogues alongside the full-replication laws
-        curves += [
-            (f"partial eager deadlocks/s (k={k})",
-             lambda p, k=k: partial.deadlock_rate(p, k)),
-            (f"partial lazy-group reconciliations/s (k={k})",
-             lambda p, k=k: partial.reconciliation_rate(p, k)),
+    if args.model == "markov":
+        # the Markov track: every strategy's chain-predicted danger rate
+        curves = [
+            (f"{strategy} {markov_strategies.MARKOV_REFERENCE[strategy][1]}"
+             + (f" (k={k})" if k is not None else ""),
+             lambda p, s=strategy: markov_strategies.reference_rate(s, p, k))
+            for strategy in markov_strategies.MARKOV_STRATEGIES
         ]
+    else:
+        curves = [
+            ("eager deadlocks/s (eq 12)", eager.total_deadlock_rate),
+            ("lazy-group reconciliations/s (eq 14)",
+             lazy_group.reconciliation_rate),
+            ("lazy-master deadlocks/s (eq 19)", lazy_master.deadlock_rate),
+            ("two-tier base deadlocks/s", two_tier.base_deadlock_rate),
+        ]
+        if k is not None:
+            # partial-replication analogues alongside the full laws
+            curves += [
+                (f"partial eager deadlocks/s (k={k})",
+                 lambda p, k=k: partial.deadlock_rate(p, k)),
+                (f"partial lazy-group reconciliations/s (k={k})",
+                 lambda p, k=k: partial.reconciliation_rate(p, k)),
+            ]
     for label, fn in curves:
         result = sweep(fn, params, "nodes", node_axis)
         print(format_series(result.xs, result.ys, x_label="nodes",
                             y_label=label))
-        print(f"  growth order: N^{fit_exponent(result.xs, result.ys):.1f}\n")
+        exponent = safe_fit_exponent(result.xs, result.ys)
+        order = "n/a" if exponent is None else f"N^{exponent:.1f}"
+        print(f"  growth order: {order}\n")
     if params.disconnect_time > 0:
         result = sweep(lazy_group.mobile_reconciliation_rate, params,
                        "nodes", node_axis)
         print(format_series(result.xs, result.ys, x_label="nodes",
                             y_label="mobile reconciliations/s (eq 18)"))
-        print(f"  growth order: N^{fit_exponent(result.xs, result.ys):.1f}\n")
+        exponent = safe_fit_exponent(result.xs, result.ys)
+        order = "n/a" if exponent is None else f"N^{exponent:.1f}"
+        print(f"  growth order: {order}\n")
     if args.measure:
         _print_measured_danger(args, params, node_axis)
     return 0
@@ -178,6 +192,7 @@ def _print_measured_danger(args: argparse.Namespace, params: ModelParameters,
         seeds=tuple(range(args.seeds)),
         duration=args.duration,
         placement=getattr(args, "placement", None),
+        model=getattr(args, "model", "closed-form"),
     )
     outcome = run_campaign(campaign, jobs=args.jobs,
                            cache_dir=args.cache_dir,
@@ -208,6 +223,14 @@ def _fault_plan(args: argparse.Namespace, params: ModelParameters):
         duration=args.duration,
         fault_seed=args.fault_seed,
     )
+
+
+def _add_model_track_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=("closed-form", "markov"),
+                        default="closed-form",
+                        help="analytic track for predicted rates and fit "
+                        "exponents: the paper's closed-form equations "
+                        "(default) or the Markov transaction-state chains")
 
 
 def _add_placement_argument(parser: argparse.ArgumentParser) -> None:
@@ -543,6 +566,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         sample_interval=sample_interval,
         placement=args.placement,
+        model=args.model,
     )
     cache_dir = None if args.no_cache else args.cache_dir
     outcome = run_campaign(
@@ -557,7 +581,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cells,
         title=f"campaign: {', '.join(strategies)} × nodes "
         f"{','.join(map(str, node_values))} × {args.seeds} seed(s), "
-        f"duration {args.duration:g}s",
+        f"duration {args.duration:g}s, model {args.model}",
     ))
     fits = outcome.fits()
     if fits:
@@ -622,6 +646,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_danger.add_argument("--jobs", type=int, default=1,
                           help="worker processes for --measure (0 = inline)")
     _add_placement_argument(p_danger)
+    _add_model_track_argument(p_danger)
     p_danger.add_argument("--cache-dir", default=None, metavar="PATH",
                           help="content-hash result cache for --measure")
     p_danger.set_defaults(fn=cmd_danger)
@@ -740,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write per-cell telemetry time-series JSON "
                          "files into DIR (implies sampling)")
     _add_placement_argument(p_sweep)
+    _add_model_track_argument(p_sweep)
     p_sweep.add_argument("--sample-interval", type=float, default=None,
                          metavar="SEC",
                          help="telemetry window in virtual seconds "

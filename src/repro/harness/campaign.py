@@ -56,7 +56,7 @@ from typing import (
 
 from repro.analytic import eager, lazy_group, lazy_master, two_tier
 from repro.analytic.parameters import ModelParameters
-from repro.analytic.scaling import fit_exponent
+from repro.analytic.scaling import safe_fit_exponent
 from repro.exceptions import ConfigurationError
 from repro.harness.experiment import (
     STRATEGIES,
@@ -77,8 +77,14 @@ TIMEOUT = "timeout"
 # bump when the result payload schema changes, so stale cache entries miss
 # (3: sample_interval joined the config hash, extras carry telemetry series;
 #  4: engine_queue gauge joined the standard telemetry series;
-#  5: placement joined the config hash, extras carry resident_objects)
-CACHE_VERSION = 5
+#  5: placement joined the config hash, extras carry resident_objects;
+#  6: model tracks joined the campaign layer — sim payloads are unchanged,
+#     but the bump retires caches written before the aggregate/export split
+#     so every cached cell replays under the new schema)
+CACHE_VERSION = 6
+
+#: the selectable analytic tracks the campaign layer can judge cells with
+MODEL_TRACKS: Tuple[str, ...] = ("closed-form", "markov")
 
 # The rate the analytic model predicts for each strategy — the "danger"
 # curve of cmd_danger, used for the measured-vs-model column and the fit
@@ -167,6 +173,12 @@ class Campaign:
             :meth:`~repro.placement.Placement.from_spec`) applied to every
             cell.  ``None`` means full replication.  The parsed spec's
             canonical dictionary joins each cell's cache key.
+        model: which analytic track judges the cells — ``"closed-form"``
+            (the paper's equations, the default) or ``"markov"`` (the
+            transaction-state chains of
+            :mod:`repro.analytic.markov_strategies`).  The track only
+            changes the predicted column and fits, never the simulation,
+            so it deliberately stays out of each cell's cache key.
     """
 
     strategies: Tuple[str, ...]
@@ -182,6 +194,7 @@ class Campaign:
     fault_seed: int = 0
     sample_interval: float = 0.0
     placement: Optional[str] = None
+    model: str = "closed-form"
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -197,6 +210,11 @@ class Campaign:
             raise ConfigurationError("campaign seeds must be distinct")
         if not hasattr(self.base_params, self.axis):
             raise ConfigurationError(f"unknown model parameter {self.axis!r}")
+        if self.model not in MODEL_TRACKS:
+            raise ConfigurationError(
+                f"unknown model track {self.model!r}; "
+                f"expected one of {MODEL_TRACKS}"
+            )
 
     @property
     def total_runs(self) -> int:
@@ -412,11 +430,15 @@ class CampaignResult:
         """Reconstructed results of every successful run."""
         return [o.to_result() for o in self.outcomes if o.ok]
 
-    def aggregate(self) -> List["CellStats"]:
-        return aggregate(self.outcomes)
+    def aggregate(self, model: Optional[str] = None) -> List["CellStats"]:
+        """Cell summaries under ``model`` (default: the campaign's track)."""
+        if model is None:
+            model = (self.campaign.model if self.campaign is not None
+                     else "closed-form")
+        return aggregate(self.outcomes, model=model)
 
-    def fits(self) -> List["ExponentFit"]:
-        return fit_exponents(self.aggregate())
+    def fits(self, model: Optional[str] = None) -> List["ExponentFit"]:
+        return fit_exponents(self.aggregate(model=model))
 
     def describe(self) -> str:
         """One status line: runs, failures, cache economics, wall clock."""
@@ -603,8 +625,53 @@ def _estimate(name: str, samples: Sequence[float]) -> RateEstimate:
                         ci95_half_width=0.0)
 
 
-def aggregate(outcomes: Sequence[RunOutcome]) -> List[CellStats]:
-    """Group outcomes by (strategy, axis value); summarise each rate."""
+def model_reference(
+    strategy: str,
+    params: ModelParameters,
+    k: Optional[int] = None,
+    model: str = "closed-form",
+) -> Tuple[Optional[str], Optional[float]]:
+    """``(rate name, predicted value)`` for one cell under a model track.
+
+    ``closed-form`` uses the paper's equations (with the partial-model
+    ``k/N`` override under a placement); ``markov`` solves the strategy's
+    transaction-state chain.  ``(None, None)`` when the track does not
+    model the strategy's danger rate.
+    """
+    if model not in MODEL_TRACKS:
+        raise ConfigurationError(
+            f"unknown model track {model!r}; expected one of {MODEL_TRACKS}"
+        )
+    if model == "markov":
+        from repro.analytic import markov_strategies
+
+        ref = markov_strategies.MARKOV_REFERENCE.get(strategy)
+        if ref is None:
+            return None, None
+        return ref[0], markov_strategies.reference_rate(strategy, params, k)
+    reference = ANALYTIC_REFERENCE.get(strategy)
+    if reference is None:
+        return None, None
+    analytic = reference[1](params)
+    if k is not None:
+        # partial placement: the danger laws soften by k/N — use the
+        # partial model's prediction where the rate depends on fan-out
+        from repro.analytic import partial as partial_model
+
+        override = partial_model.reference_rate(strategy, params, k)
+        if override is not None:
+            analytic = override
+    return reference[0], analytic
+
+
+def aggregate(
+    outcomes: Sequence[RunOutcome], model: str = "closed-form"
+) -> List[CellStats]:
+    """Group outcomes by (strategy, axis value); summarise each rate.
+
+    ``model`` selects the analytic track attached to each cell's
+    ``analytic`` column (see :func:`model_reference`).
+    """
     order: List[Tuple[str, float]] = []
     grouped: Dict[Tuple[str, float], List[RunOutcome]] = {}
     for outcome in outcomes:
@@ -624,20 +691,11 @@ def aggregate(outcomes: Sequence[RunOutcome]) -> List[CellStats]:
                 if name == "horizon":
                     continue
                 samples.setdefault(name, []).append(value)
-        reference = ANALYTIC_REFERENCE.get(spec.config.strategy)
-        analytic = reference[1](spec.config.params) if reference else None
         placement = getattr(spec.config, "placement", None)
         k = getattr(placement, "replication_factor", None)
-        if reference is not None and k is not None:
-            # partial placement: the danger laws soften by k/N — use the
-            # partial model's prediction where the rate depends on fan-out
-            from repro.analytic import partial as partial_model
-
-            override = partial_model.reference_rate(
-                spec.config.strategy, spec.config.params, k
-            )
-            if override is not None:
-                analytic = override
+        rate_name, analytic = model_reference(
+            spec.config.strategy, spec.config.params, k, model
+        )
         verdicts = [v for v in (o.oracle_ok() for o in members)
                     if v is not None]
         cells.append(
@@ -650,7 +708,7 @@ def aggregate(outcomes: Sequence[RunOutcome]) -> List[CellStats]:
                 failures=sum(1 for o in members if not o.ok),
                 rates={name: _estimate(name, values)
                        for name, values in samples.items()},
-                reference_rate=reference[0] if reference else None,
+                reference_rate=rate_name,
                 analytic=analytic,
                 oracle_ok=all(verdicts) if verdicts else None,
             )
@@ -674,22 +732,19 @@ class ExponentFit:
                 f"analytic {analytic}")
 
 
-def _safe_fit(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
-    try:
-        return fit_exponent(xs, ys)
-    except ConfigurationError:
-        return None
-
-
 def fit_exponents(cells: Sequence[CellStats]) -> List[ExponentFit]:
-    """Fit the modelled rate's growth order along the axis, per strategy."""
+    """Fit the modelled rate's growth order along the axis, per strategy.
+
+    Model-track agnostic: each cell already carries the reference rate and
+    prediction its campaign's track assigned (see :func:`aggregate`).
+    """
     by_strategy: Dict[str, List[CellStats]] = {}
     for cell in cells:
         by_strategy.setdefault(cell.strategy, []).append(cell)
     fits: List[ExponentFit] = []
     for strategy, group in by_strategy.items():
-        reference = ANALYTIC_REFERENCE.get(strategy)
-        if reference is None or len(group) < 2:
+        rate_name = group[0].reference_rate
+        if rate_name is None or len(group) < 2:
             continue
         xs = [cell.value for cell in group]
         measured = [cell.measured or 0.0 for cell in group]
@@ -697,9 +752,9 @@ def fit_exponents(cells: Sequence[CellStats]) -> List[ExponentFit]:
         fits.append(
             ExponentFit(
                 strategy=strategy,
-                rate=reference[0],
-                measured=_safe_fit(xs, measured),
-                analytic=_safe_fit(xs, analytic),
+                rate=rate_name,
+                measured=safe_fit_exponent(xs, measured),
+                analytic=safe_fit_exponent(xs, analytic),
             )
         )
     return fits

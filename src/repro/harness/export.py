@@ -103,6 +103,7 @@ def campaign_to_dict(outcome) -> Dict[str, Any]:
     per-cell aggregates and fit exponents, one JSON document.
     """
     cells = outcome.aggregate()
+    campaign = getattr(outcome, "campaign", None)
     return {
         "summary": {
             "runs": outcome.total,
@@ -111,6 +112,7 @@ def campaign_to_dict(outcome) -> Dict[str, Any]:
             "cache_hits": outcome.cache_hits,
             "elapsed_seconds": outcome.elapsed,
             "jobs": outcome.jobs,
+            "model": getattr(campaign, "model", "closed-form"),
         },
         "runs": [
             {

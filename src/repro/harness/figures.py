@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.analytic.parameters import ModelParameters
-from repro.analytic.scaling import fit_exponent, sweep
+from repro.analytic.scaling import safe_fit_exponent, sweep
 from repro.metrics.report import format_series, growth_caption
 
 
@@ -20,11 +20,9 @@ def render_sweep(
     result = sweep(fn, base, parameter, values)
     figure = format_series(result.xs, result.ys, x_label=parameter,
                            y_label=y_label)
-    try:
-        exponent = fit_exponent(result.xs, result.ys)
-        caption = growth_caption(exponent, variable=parameter)
-    except Exception:
-        caption = "(exponent not defined)"
+    exponent = safe_fit_exponent(result.xs, result.ys)
+    caption = ("(exponent not defined)" if exponent is None
+               else growth_caption(exponent, variable=parameter))
     return f"{figure}\n{caption}"
 
 
@@ -32,9 +30,8 @@ def shape_summary(
     xs: Sequence[float], ys: Sequence[float], variable: str = "N"
 ) -> Tuple[Optional[float], str]:
     """Fitted exponent plus a caption, tolerant of all-zero series."""
-    try:
-        exponent = fit_exponent(xs, ys)
-    except Exception:
+    exponent = safe_fit_exponent(xs, ys)
+    if exponent is None:
         return None, f"no growth measurable in {variable}"
     return exponent, growth_caption(exponent, variable=variable)
 

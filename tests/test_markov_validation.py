@@ -1,0 +1,110 @@
+"""Cross-validation: the Markov track against the DES and the closed forms.
+
+The acceptance bar for the Markov fast path: on a short validation grid
+(nodes 2-6, 3 seeds) the chain-predicted node-count exponent must land
+within ±0.5 of the DES-measured exponent for every strategy, and within
+the same tolerance of the closed-form law wherever the chain is *meant*
+to reproduce it.  Eager-master is the documented exception: its chain
+models the master-first lock ordering the simulator implements, which
+lands on a quadratic law, while equation 12's pessimistic cubic ignores
+that serialization — so for eager-master the chain is held to the
+measurement and explicitly *not* to equation 12 (see
+``markov_strategies._eager_chain``).
+
+Each strategy runs in a contention regime tuned so the 120 virtual-second
+grid measures enough deadlocks/reconciliations for a stable fit; the
+regimes mirror ``benchmarks/conftest.py``.
+"""
+
+import functools
+
+import pytest
+
+from repro.analytic.parameters import ModelParameters
+from repro.harness.campaign import Campaign, run_campaign
+
+#: DES-vs-model exponent tolerance (the acceptance criterion's ±0.5)
+TOLERANCE = 0.5
+
+NODE_GRID = (2, 3, 4, 6)
+SEEDS = (0, 1, 2)
+DURATION = 120.0
+
+#: per-strategy contention regimes: dense enough to measure rare events
+#: over the grid, sparse enough that the fit regime is still power-law
+VALIDATION_REGIMES = {
+    "eager-group": ModelParameters(
+        db_size=80, nodes=2, tps=4.0, actions=3, action_time=0.01),
+    "eager-master": ModelParameters(
+        db_size=80, nodes=2, tps=4.0, actions=3, action_time=0.01),
+    "lazy-group": ModelParameters(
+        db_size=200, nodes=2, tps=4.0, actions=3, action_time=0.01),
+    "lazy-master": ModelParameters(
+        db_size=30, nodes=2, tps=6.0, actions=3, action_time=0.01),
+}
+
+
+@functools.lru_cache(maxsize=None)
+def _validate(strategy):
+    """Run the strategy's validation campaign once; fit all three tracks.
+
+    Returns ``(measured, markov, closed)`` node-count exponents.  The same
+    simulated outcomes back every track — only the analytic column moves.
+    """
+    campaign = Campaign(
+        strategies=(strategy,),
+        base_params=VALIDATION_REGIMES[strategy],
+        axis="nodes",
+        values=NODE_GRID,
+        seeds=SEEDS,
+        duration=DURATION,
+        model="markov",
+    )
+    outcome = run_campaign(campaign, jobs=0)
+    assert not outcome.failures, [f.error for f in outcome.failures]
+    markov_fit = outcome.fits()[0]
+    closed_fit = outcome.fits(model="closed-form")[0]
+    assert markov_fit.measured is not None, (
+        f"{strategy}: validation grid measured no events; regime too sparse"
+    )
+    return markov_fit.measured, markov_fit.analytic, closed_fit.analytic
+
+
+@pytest.mark.parametrize("strategy", sorted(VALIDATION_REGIMES))
+def test_markov_exponent_within_tolerance_of_measured(strategy):
+    measured, markov, _ = _validate(strategy)
+    assert markov is not None
+    assert abs(markov - measured) <= TOLERANCE, (
+        f"{strategy}: markov N^{markov:.2f} vs measured N^{measured:.2f}"
+    )
+
+
+@pytest.mark.parametrize("strategy",
+                         ("eager-group", "lazy-group", "lazy-master"))
+def test_markov_exponent_within_tolerance_of_closed_form(strategy):
+    _, markov, closed = _validate(strategy)
+    assert markov is not None and closed is not None
+    assert abs(markov - closed) <= TOLERANCE, (
+        f"{strategy}: markov N^{markov:.2f} vs closed form N^{closed:.2f}"
+    )
+
+
+def test_eager_master_departs_from_eq_12_toward_the_measurement():
+    """The documented divergence: the chain tracks the DES's quadratic
+    master law while equation 12 predicts a cubic the simulator never
+    exhibits — the Markov track is the *better* model here."""
+    measured, markov, closed = _validate("eager-master")
+    assert closed == pytest.approx(3.0, abs=0.1)  # eq 12 is exactly cubic
+    assert abs(markov - 2.0) <= TOLERANCE  # the chain lands quadratic
+    assert abs(markov - measured) < abs(closed - measured), (
+        f"markov N^{markov:.2f} should beat eq 12 N^{closed:.2f} "
+        f"against measured N^{measured:.2f}"
+    )
+
+
+def test_closed_form_exponents_match_the_paper():
+    """Sanity on the fit machinery itself: the closed-form track must
+    reproduce the paper's exact orders on the same grid."""
+    assert _validate("eager-group")[2] == pytest.approx(3.0, abs=0.1)
+    assert _validate("lazy-group")[2] == pytest.approx(3.0, abs=0.1)
+    assert _validate("lazy-master")[2] == pytest.approx(2.0, abs=0.1)

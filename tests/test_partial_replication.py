@@ -10,6 +10,7 @@ update is flagged as divergence by the system-level comparison.
 
 import pytest
 
+from repro.analytic import eager, lazy_group, markov_strategies, partial
 from repro.analytic.parameters import ModelParameters
 from repro.exceptions import ConfigurationError
 from repro.faults.oracle import evaluate as evaluate_oracle
@@ -169,3 +170,87 @@ def test_partial_run_is_reproducible_and_matches_golden(case, partial_golden):
 
 def test_partial_golden_covers_every_case(partial_golden):
     assert sorted(partial_golden) == sorted(partial_case_names())
+
+
+# --------------------------------------------------------------------- #
+# the k = N limit: partial predictions reduce to full replication
+# --------------------------------------------------------------------- #
+
+
+_LIMIT_PARAMS = ModelParameters(
+    db_size=500, nodes=6, tps=5.0, actions=4, action_time=0.01,
+)
+
+
+class TestFullReplicationLimit:
+    """``hash:k=N`` must be indistinguishable from full replication."""
+
+    def test_structure_reduces_to_eager_equations(self):
+        p, n = _LIMIT_PARAMS, _LIMIT_PARAMS.nodes
+        assert partial.transaction_size(p, n) == eager.transaction_size(p)
+        assert partial.transaction_duration(p, n) == (
+            eager.transaction_duration(p)
+        )
+        assert partial.total_transactions(p, n) == pytest.approx(
+            eager.total_transactions(p), rel=1e-12)
+        assert partial.action_rate(p, n) == pytest.approx(
+            eager.action_rate(p), rel=1e-12)
+
+    def test_danger_rates_reduce_to_eq_10_12_14(self):
+        p, n = _LIMIT_PARAMS, _LIMIT_PARAMS.nodes
+        assert partial.wait_rate(p, n) == pytest.approx(
+            eager.total_wait_rate(p), rel=1e-12)
+        assert partial.deadlock_rate(p, n) == pytest.approx(
+            eager.total_deadlock_rate(p), rel=1e-12)
+        assert partial.reconciliation_rate(p, n) == pytest.approx(
+            lazy_group.reconciliation_rate(p), rel=1e-12
+        )
+        assert partial.softening(p, n) == 1.0
+
+    def test_oversized_k_clamps_to_full_replication(self):
+        p, n = _LIMIT_PARAMS, _LIMIT_PARAMS.nodes
+        assert partial.deadlock_rate(p, n + 10) == pytest.approx(
+            eager.total_deadlock_rate(p), rel=1e-12
+        )
+        assert partial.resident_objects(p, n + 10) == float(p.db_size)
+
+    @pytest.mark.parametrize("strategy", ("eager-group", "eager-master",
+                                          "lazy-group"))
+    def test_reference_rate_reduces_at_k_equals_n(self, strategy):
+        p, n = _LIMIT_PARAMS, _LIMIT_PARAMS.nodes
+        full = {
+            "eager-group": eager.total_deadlock_rate(p),
+            "eager-master": eager.total_deadlock_rate(p),
+            "lazy-group": lazy_group.reconciliation_rate(p),
+        }[strategy]
+        assert partial.reference_rate(strategy, p, n) == pytest.approx(
+            full, rel=1e-12)
+
+
+class TestMarkovAgreesWithPartialAtKEqualsN:
+    """The Markov chains must honour the same k = N reduction."""
+
+    @pytest.mark.parametrize("strategy", markov_strategies.MARKOV_STRATEGIES)
+    def test_k_equals_n_matches_default_full_replication(self, strategy):
+        p, n = _LIMIT_PARAMS, _LIMIT_PARAMS.nodes
+        explicit = markov_strategies.reference_rate(strategy, p, k=n)
+        implicit = markov_strategies.reference_rate(strategy, p, k=None)
+        assert explicit == implicit
+
+    @pytest.mark.parametrize("strategy", ("eager-group", "lazy-group"))
+    def test_low_contention_markov_matches_partial_model(self, strategy):
+        # deep in the low-contention regime the congestion fixed point is
+        # ~1 and the chain's rate converges to the partial closed form
+        p = _LIMIT_PARAMS.with_(db_size=200_000)
+        n = p.nodes
+        chain_rate = markov_strategies.reference_rate(strategy, p, k=n)
+        closed = partial.reference_rate(strategy, p, n)
+        assert chain_rate == pytest.approx(closed, rel=1e-3)
+
+    @pytest.mark.parametrize("k", (1, 2, 4))
+    def test_partial_softening_tracks_k_over_n(self, k):
+        # at fixed nodes the chain inherits the closed forms' k-scaling
+        p = _LIMIT_PARAMS.with_(db_size=200_000)
+        chain = markov_strategies.reference_rate("lazy-group", p, k=k)
+        closed = partial.reference_rate("lazy-group", p, k)
+        assert chain == pytest.approx(closed, rel=1e-3)

@@ -11,6 +11,7 @@ from repro.analytic.scaling import (
     amplification,
     crossover,
     fit_exponent,
+    safe_fit_exponent,
     sweep,
 )
 from repro.exceptions import ConfigurationError
@@ -57,8 +58,9 @@ class TestFitExponent:
     def test_requires_two_positive_points(self):
         with pytest.raises(ConfigurationError):
             fit_exponent([1.0], [2.0])
-        with pytest.raises(ConfigurationError):
-            fit_exponent([1.0, 2.0], [0.0, 0.0])
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(ConfigurationError):
+                fit_exponent([1.0, 2.0], [0.0, 0.0])
 
     def test_requires_distinct_x(self):
         with pytest.raises(ConfigurationError):
@@ -67,7 +69,47 @@ class TestFitExponent:
     def test_ignores_nonpositive_points(self):
         xs = [1, 2, 4, 8]
         ys = [1, 4, 0, 64]  # the zero point is dropped
-        assert fit_exponent(xs, ys) == pytest.approx(2.0)
+        with pytest.warns(RuntimeWarning, match="dropped 1 of 4"):
+            assert fit_exponent(xs, ys) == pytest.approx(2.0)
+
+    def test_zero_cells_warn_but_fit_survives(self):
+        # a short measured run produces zero-event cells; the fit must
+        # drop them (with a warning) instead of crashing in log-space
+        xs = [1, 2, 4, 8, 16]
+        ys = [0.0, 0.0, 1.0, 8.0, 64.0]
+        with pytest.warns(RuntimeWarning, match="zero, negative"):
+            assert fit_exponent(xs, ys) == pytest.approx(3.0)
+
+    def test_negative_and_nonfinite_cells_dropped(self):
+        xs = [1, 2, 4, 8]
+        ys = [-0.5, 4.0, float("nan"), float("inf")]
+        with pytest.warns(RuntimeWarning, match="dropped 3 of 4"):
+            with pytest.raises(ConfigurationError):
+                fit_exponent(xs, ys)
+
+    def test_clean_series_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fit_exponent([1.0, 2.0, 4.0], [1.0, 4.0, 16.0])
+
+
+class TestSafeFitExponent:
+    def test_matches_fit_exponent_on_clean_data(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [x**2.5 for x in xs]
+        assert safe_fit_exponent(xs, ys) == pytest.approx(2.5)
+
+    def test_none_on_all_zero_series(self):
+        with pytest.warns(RuntimeWarning):
+            assert safe_fit_exponent([1, 2, 4], [0.0, 0.0, 0.0]) is None
+
+    def test_none_on_single_point(self):
+        assert safe_fit_exponent([2.0], [4.0]) is None
+
+    def test_none_on_degenerate_x(self):
+        assert safe_fit_exponent([3.0, 3.0], [1.0, 2.0]) is None
 
 
 class TestAmplification:
