@@ -1,0 +1,74 @@
+"""Service benchmark: the gateway + loadtest pair under the acceptance bar.
+
+The acceptance criterion for real-time service mode is absolute: with at
+least 100 concurrent clients, the gateway must sustain >= 1000 committed
+transactions/sec, oracle-clean, with p99 latency on record.  This module
+measures it (everything on one loop, the conservative configuration) and
+persists ``BENCH_service.json`` for the CI ``service-smoke`` gate.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_service.py -q
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.service import bench
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One full measurement, shared by the assertions, persisted for CI."""
+    result = bench.collect()
+    with BENCH_PATH.open("w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def test_meets_the_committed_throughput_floor(payload):
+    assert payload["clients"] >= 100
+    assert payload["throughput_committed_per_sec"] >= bench.COMMITTED_FLOOR, (
+        f"service floor is {bench.COMMITTED_FLOOR:.0f} committed txns/sec "
+        f"with {payload['clients']} clients, measured "
+        f"{payload['throughput_committed_per_sec']:.1f}/s"
+    )
+
+
+def test_latency_percentiles_recorded(payload):
+    latency = payload["latency_ms"]
+    assert latency["count"] == payload["completed"]
+    for key in ("p50", "p95", "p99", "max"):
+        assert latency[key] is not None
+        assert latency[key] > 0
+    assert latency["p50"] <= latency["p95"] <= latency["p99"]
+
+
+def test_drained_state_is_oracle_clean(payload):
+    oracle = payload["oracle"]
+    assert oracle["ok"], oracle
+    assert oracle["base_divergence"] == 0
+    assert oracle["wal_quiescent"] is True
+    assert oracle["lost_replies"] == 0
+
+
+def test_no_client_side_losses(payload):
+    assert payload["errors"] == 0
+    assert payload["lost"] == 0
+    assert payload["completed"] == payload["sent"]
+
+
+def test_gate_passes_on_the_fresh_payload(payload):
+    assert bench.check(payload) == []
+
+
+def test_payload_written_for_ci(payload):
+    stored = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    assert stored["benchmark"] == "service-gateway"
+    assert stored["schema"] == 1
+    assert bench.check(stored) == []

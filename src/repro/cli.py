@@ -15,7 +15,13 @@ Commands:
   Chrome/Perfetto ``trace.json`` (open it at https://ui.perfetto.dev).
 * ``report`` — run one experiment with telemetry sampling and render a
   markdown run report (counters, oracle verdict, fault timeline,
-  sparkline series).
+  sparkline series); ``report --loadtest result.json`` instead renders a
+  service load-test result.
+* ``serve`` — serve the two-tier engine on *real* time: an asyncio
+  gateway speaking newline-delimited JSON over TCP or a unix socket.
+* ``loadtest`` — drive a running gateway with N concurrent open-loop
+  clients and report throughput, latency percentiles, and the
+  drained-state oracle verdict.
 
 Examples::
 
@@ -25,6 +31,9 @@ Examples::
     python -m repro sweep --strategy lazy-group --nodes 1,2,4,8 --seeds 5 --jobs 4
     python -m repro trace --strategy lazy-group --nodes 8 --faults partition=5 --out trace.json
     python -m repro report --strategy two-tier --nodes 4 --out report.md
+    python -m repro serve --socket /tmp/repro.sock --mobiles 8
+    python -m repro loadtest --socket /tmp/repro.sock --clients 100 \\
+        --rate 2000 --duration 10 --out loadtest.json
 """
 
 from __future__ import annotations
@@ -379,6 +388,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     """Run one experiment with sampling and render a markdown run report."""
     from repro.obs.report import build_report, write_report
 
+    if args.loadtest:
+        return _report_loadtest(args)
     params = _params(args)
     interval = args.sample_interval
     if interval is None:
@@ -412,6 +423,130 @@ def cmd_report(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"report JSON written to {target}")
     return 0
+
+
+def _report_loadtest(args: argparse.Namespace) -> int:
+    """Render a saved ``repro loadtest`` result JSON as markdown."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.report import service_report_markdown
+
+    source = Path(args.loadtest)
+    try:
+        payload = _json.loads(source.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read loadtest result {source}: {exc}")
+    try:
+        markdown = service_report_markdown(payload)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        target = Path(args.out)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(markdown, encoding="utf-8")
+        print(f"service report written to {target}")
+    else:
+        print(markdown)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the two-tier engine on real time over NDJSON sockets."""
+    import asyncio
+    import signal
+
+    from repro.service import GatewayConfig, ServiceGateway
+
+    config = GatewayConfig(
+        num_base=args.num_base,
+        mobiles=args.mobiles,
+        db_size=args.db_size,
+        action_time=args.action_time,
+        message_delay=args.message_delay,
+        seed=args.seed,
+        initial_value=args.initial_value,
+        max_inflight=args.max_inflight,
+        sample_interval=args.sample_interval,
+    )
+
+    async def _serve() -> None:
+        gateway = ServiceGateway(config)
+        await gateway.start(host=args.host, port=args.port,
+                            unix_path=args.socket)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, gateway.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-unix loop
+                pass
+        endpoint = (args.socket if args.socket
+                    else f"{args.host}:{gateway.tcp_port}")
+        print(f"serving on {endpoint}: {config.mobiles} mobile(s) over "
+              f"{config.num_base} base node(s), db_size {config.db_size}, "
+              f"max in-flight {config.max_inflight}", flush=True)
+        await gateway.run()
+        print(f"stopped after {gateway.served} transaction(s): "
+              f"{gateway.accepted} accepted, {gateway.rejected} rejected, "
+              f"{gateway.errors} error(s)")
+
+    asyncio.run(_serve())
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive a running gateway with concurrent open-loop clients."""
+    import asyncio
+    import json as _json
+    from pathlib import Path
+
+    from repro.service import LoadtestConfig, run_loadtest
+
+    if args.socket is None and args.port is None:
+        raise SystemExit("loadtest needs an endpoint: --socket PATH "
+                         "or --port N (matching a running 'repro serve')")
+    config = LoadtestConfig(
+        clients=args.clients,
+        rate=args.rate,
+        duration=args.duration,
+        workload=args.workload,
+        zipf_theta=args.zipf,
+        actions=args.actions,
+        db_size=args.db_size,
+        branches=args.branches,
+        seed=args.seed,
+        drain=not args.no_drain,
+        stop_server=args.stop_server,
+    )
+    result = asyncio.run(run_loadtest(
+        config, host=args.host, port=args.port, unix_path=args.socket
+    ))
+    latency = result["latency_ms"]
+    print(f"{result['completed']}/{result['sent']} completed in "
+          f"{result['elapsed_seconds']:.2f}s: "
+          f"{result['throughput_committed_per_sec']:.1f} committed/s "
+          f"({result['accepted']} accepted, {result['rejected']} rejected, "
+          f"{result['errors']} error(s), {result['lost']} lost)")
+    if latency.get("count"):
+        print(f"latency ms: p50 {latency['p50']:.2f}  "
+              f"p95 {latency['p95']:.2f}  p99 {latency['p99']:.2f}  "
+              f"max {latency['max']:.2f}")
+    oracle = result.get("oracle")
+    if oracle is not None:
+        verdict = "ok" if oracle["ok"] else "FAIL"
+        print(f"oracle: {verdict} (store_sum {oracle['store_sum']}, "
+              f"expected {oracle['expected_store_sum']}, "
+              f"base divergence {oracle['base_divergence']})")
+    if args.out:
+        target = Path(args.out)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as fh:
+            _json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"result written to {target}")
+    return 0 if oracle is None or oracle["ok"] else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -713,6 +848,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write markdown to PATH instead of stdout")
     p_report.add_argument("--json", default=None, metavar="PATH",
                           help="also write the report as JSON to PATH")
+    p_report.add_argument("--loadtest", default=None, metavar="PATH",
+                          help="render a saved 'repro loadtest' result "
+                          "JSON instead of running an experiment")
     _add_fault_arguments(p_report)
     p_report.set_defaults(fn=cmd_report)
 
@@ -805,6 +943,79 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed fractional speedup drop vs baseline "
                               "(default 0.20)")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the two-tier engine on real time (NDJSON TCP/unix)",
+    )
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="listen on a unix socket at PATH "
+                         "(overrides --host/--port)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port (default: an ephemeral port, "
+                         "printed at startup)")
+    p_serve.add_argument("--mobiles", type=int, default=4,
+                         help="mobile nodes in the connection pool "
+                         "(default: 4)")
+    p_serve.add_argument("--num-base", type=int, default=1,
+                         help="base-tier nodes (default: 1)")
+    p_serve.add_argument("--db-size", type=int, default=1000,
+                         help="objects in the served database")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--initial-value", type=int, default=0,
+                         help="starting value of every object")
+    p_serve.add_argument("--action-time", type=float, default=0.0,
+                         help="artificial seconds per action (default 0: "
+                         "real work already costs real time)")
+    p_serve.add_argument("--message-delay", type=float, default=0.0,
+                         help="artificial replica propagation delay")
+    p_serve.add_argument("--max-inflight", type=int, default=256,
+                         help="global in-flight transaction cap; beyond "
+                         "it the readers stop and TCP pushes back")
+    p_serve.add_argument("--sample-interval", type=float, default=0.0,
+                         metavar="SEC",
+                         help="telemetry sampling window in seconds "
+                         "(0 = off)")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="drive a running gateway with concurrent open-loop clients",
+    )
+    p_load.add_argument("--socket", default=None, metavar="PATH",
+                        help="connect to a unix socket at PATH")
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=None)
+    p_load.add_argument("--clients", type=int, default=100,
+                        help="concurrent connections (default: 100)")
+    p_load.add_argument("--rate", type=float, default=2000.0,
+                        help="total offered load, txns/sec across all "
+                        "clients, open-loop Poisson (default: 2000)")
+    p_load.add_argument("--duration", type=float, default=5.0,
+                        help="send window in seconds (default: 5)")
+    p_load.add_argument("--workload",
+                        choices=("uniform", "checkbook", "tpcb"),
+                        default="uniform")
+    p_load.add_argument("--zipf", type=float, default=0.0, metavar="THETA",
+                        help="Zipf skew theta in (0,1) for the uniform "
+                        "workload (0 = no skew; 0.99 = YCSB hot)")
+    p_load.add_argument("--actions", type=int, default=2,
+                        help="updates per transaction (uniform workload)")
+    p_load.add_argument("--db-size", type=int, default=1000,
+                        help="object-id space to draw from (must match "
+                        "the server's)")
+    p_load.add_argument("--branches", type=int, default=1,
+                        help="tpcb branch count (sets the tpcb db size)")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--no-drain", action="store_true",
+                        help="skip the drain frame and oracle check")
+    p_load.add_argument("--stop-server", action="store_true",
+                        help="ask the server to exit after draining")
+    p_load.add_argument("--out", default=None, metavar="PATH",
+                        help="write the full result JSON to PATH")
+    p_load.set_defaults(fn=cmd_loadtest)
     return parser
 
 

@@ -71,6 +71,8 @@ class MobileNode:
         ops: Sequence[Operation],
         acceptance: Optional[AcceptanceCriterion] = None,
         label: str = "",
+        overlay: Optional[TentativeStore] = None,
+        log: bool = True,
     ):
         """Generator: execute a tentative transaction at this node.
 
@@ -78,10 +80,18 @@ class MobileNode:
         versions (consuming ``Action_Time`` per action), and commits the
         transaction to the tentative log for later base re-execution.
         Returns the :class:`TentativeTransaction`.
+
+        ``overlay`` substitutes a private :class:`TentativeStore` for the
+        node-wide one, and ``log=False`` skips appending to :attr:`log` —
+        together they let the live gateway run many concurrent independent
+        transactions through one mobile without cross-contaminating
+        tentative values or growing the log without bound.  Sim-mode
+        callers use the defaults and see the original batch semantics.
         """
         criterion = acceptance if acceptance is not None else AlwaysAccept()
         ops = list(ops)
         self.system.scope.validate(ops, self.node_id)
+        store = overlay if overlay is not None else self.tentative
         record = TentativeTransaction(
             seq=next(self._seq),
             mobile_id=self.node_id,
@@ -93,11 +103,12 @@ class MobileNode:
         for op in ops:
             if self.system.action_time > 0:
                 yield engine.timeout(self.system.action_time)
-            output = self.tentative.apply(op)
+            output = store.apply(op)
             if not op.is_read:
                 record.tentative_outputs.append(output)
         record.commit_time = engine.now
-        self.log.append(record)
+        if log:
+            self.log.append(record)
         self.system.metrics.tentative_committed += 1
         return record
 
@@ -133,6 +144,20 @@ class MobileNode:
         """Reconnect step 5: 'Accepts notice of the success or failure of
         each tentative transaction.'"""
         self.notices.append((seq, status, why))
+
+    def pop_notice(self, seq: int) -> Optional[tuple]:
+        """Consume and return the notice for tentative ``seq``, if delivered.
+
+        The live gateway acknowledges each transaction to its client from
+        the base's notice, then pops it so :attr:`notices` stays bounded
+        over a long-running service.  Scans from the tail: the matching
+        notice is almost always the most recently recorded one.
+        """
+        notices = self.notices
+        for i in range(len(notices) - 1, -1, -1):
+            if notices[i][0] == seq:
+                return notices.pop(i)
+        return None
 
     def require_disconnected(self) -> None:
         if self.connected:

@@ -7,7 +7,7 @@ from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.network.message import Message
-from repro.sim.engine import Engine
+from repro.sim.protocol import EngineProtocol
 
 Handler = Callable[[Message], Any]
 
@@ -31,7 +31,7 @@ class Network:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EngineProtocol,
         num_nodes: int,
         message_delay: float = 0.0,
     ):

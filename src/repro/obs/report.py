@@ -238,6 +238,89 @@ def build_report(
     )
 
 
+def service_report_markdown(payload: Dict[str, Any]) -> str:
+    """Render a ``repro loadtest`` result JSON as a markdown section.
+
+    Accepts the dict a load-test run writes with ``--out`` (or the
+    ``BENCH_service.json`` payload, which embeds the same fields): offered
+    vs committed throughput, the latency percentiles, the rejection rate,
+    and the drained-state oracle verdict.
+    """
+    if payload.get("kind") not in ("service-loadtest", None) and \
+            payload.get("benchmark") != "service-gateway":
+        raise ValueError(
+            "not a service loadtest result: expected kind="
+            f"'service-loadtest', got {payload.get('kind')!r}"
+        )
+    config = payload.get("config") or {}
+    latency = payload.get("latency_ms") or {}
+    oracle = payload.get("oracle")
+
+    lines: List[str] = ["# Service loadtest report", ""]
+    lines.append("## Run")
+    lines.append("")
+    lines.append("```")
+    for key in sorted(config):
+        lines.append(f"{key} = {config[key]}")
+    elapsed = payload.get("elapsed_seconds")
+    if elapsed is not None:
+        lines.append(f"elapsed_seconds = {elapsed:.3f}")
+    lines.append("```")
+    lines.append("")
+
+    lines.append("## Throughput")
+    lines.append("")
+    lines.append("```")
+    rows = [
+        ["sent", payload.get("sent", 0)],
+        ["completed", payload.get("completed", 0)],
+        ["accepted", payload.get("accepted", 0)],
+        ["rejected", payload.get("rejected", 0)],
+        ["errors", payload.get("errors", 0)],
+        ["lost replies", payload.get("lost", 0)],
+        ["committed/sec",
+         f"{payload.get('throughput_committed_per_sec', 0.0):.1f}"],
+        ["completed/sec",
+         f"{payload.get('completed_per_sec', 0.0):.1f}"],
+        ["rejection rate",
+         f"{payload.get('rejection_rate', 0.0):.4f}"],
+    ]
+    lines.append(format_table(["quantity", "value"], rows))
+    lines.append("```")
+    lines.append("")
+
+    if latency:
+        lines.append("## Latency (ms)")
+        lines.append("")
+        lines.append("```")
+        order = ("p50", "p90", "p95", "p99", "mean", "max", "count")
+        rows = [
+            [key, latency[key] if key == "count"
+             else f"{latency[key]:.3f}"]
+            for key in order if latency.get(key) is not None
+        ]
+        lines.append(format_table(["quantile", "value"], rows))
+        lines.append("```")
+        lines.append("")
+
+    if oracle is not None:
+        verdict = "ok" if oracle.get("ok") else "FAIL"
+        lines.append(f"## Oracle: {verdict}")
+        lines.append("")
+        lines.append("```")
+        rows = sorted(
+            (k, v) for k, v in oracle.items() if k != "ok"
+        )
+        lines.append(format_table(["check", "value"], rows))
+        lines.append("```")
+        lines.append("")
+    else:
+        lines.append("## Oracle: n/a (run finished without --drain)")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
 def write_report(report: RunReport, path: Union[str, Path]) -> Path:
     """Write the markdown form of ``report`` to ``path``."""
     target = Path(path)

@@ -29,6 +29,7 @@ from repro.network.network import Network
 from repro.placement import FullReplication, Placement
 from repro.sim.engine import Engine
 from repro.sim.process import Process
+from repro.sim.protocol import EngineProtocol
 from repro.sim.random_source import RandomSource
 from repro.storage.deadlock import DeadlockDetector, youngest_victim
 from repro.storage.lock_manager import LockManager
@@ -89,7 +90,7 @@ class SystemSpec:
     max_retries: int = 25
     victim_policy: Callable = youngest_victim
     initial_value: Any = 0
-    engine: Optional[Engine] = None
+    engine: Optional[EngineProtocol] = None
     record_history: bool = False
     tracer: Any = None
     telemetry: Any = None

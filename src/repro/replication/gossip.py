@@ -14,8 +14,8 @@ from typing import List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.replication.convergent import ConvergentReplica, diverged_objects, exchange
-from repro.sim.engine import Engine
 from repro.sim.process import Process
+from repro.sim.protocol import EngineProtocol
 from repro.sim.random_source import RandomSource
 
 
@@ -33,7 +33,7 @@ class GossipDriver:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EngineProtocol,
         replicas: Sequence[ConvergentReplica],
         period: float,
         random_partners: bool = False,

@@ -1,0 +1,180 @@
+"""The gateway wire protocol: newline-delimited JSON over TCP/unix sockets.
+
+One JSON object per line, UTF-8, ``\\n``-terminated, both directions.  The
+full specification lives in ``docs/service.md``; this module is the single
+encode/decode point so the gateway, the load-test client, and the tests
+all share one vocabulary.
+
+Client → server messages (``type`` field):
+
+* ``txn`` — ``{"type": "txn", "id": <client token>, "ops": [...],
+  "acceptance": "always", "label": "..."}``.  Ops are
+  ``["inc", oid, delta]`` / ``["write", oid, value]`` / ``["read", oid]`` /
+  ``["mul", oid, factor]`` / ``["append", oid, item]``.
+* ``ping`` — liveness probe, echoed as ``pong``.
+* ``stats`` — server counters snapshot.
+* ``drain`` — stop admitting, wait for in-flight work and the engine queue
+  to empty, reply with the drained-state report (the oracle's input).
+
+Server → client replies carry a matching ``type``: ``welcome`` (on
+connect), ``result`` (per txn), ``pong``, ``stats``, ``drained``, and
+``error`` for malformed or rejected-at-the-door input.  A ``result`` has
+``status`` ``"accepted"`` / ``"rejected"`` / ``"error"``, the base
+``diagnostic`` on rejection (the paper's "informed it failed and why it
+failed"), and the server-measured ``latency_ms``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.acceptance import (
+    AcceptanceCriterion,
+    AlwaysAccept,
+    IdenticalOutputs,
+    NonNegativeOutputs,
+    PriceNotAbove,
+    WithinTolerance,
+)
+from repro.txn.ops import (
+    AppendOp,
+    IncrementOp,
+    MultiplyOp,
+    Operation,
+    ReadOp,
+    WriteOp,
+)
+
+#: bump when the wire format changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: refuse absurd lines early: no sane txn needs more than 1 MiB of JSON
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """Malformed or unsupported wire input (reported, never fatal)."""
+
+
+# ---------------------------------------------------------------------- #
+# operations
+# ---------------------------------------------------------------------- #
+
+def _json_safe_item(item: Any) -> Any:
+    # JSON turns tuples into lists; AppendOp items must be hashable and
+    # mutually comparable, so lists come back as tuples
+    return tuple(item) if isinstance(item, list) else item
+
+
+_OP_DECODERS = {
+    "read": lambda args: ReadOp(int(args[0])),
+    "write": lambda args: WriteOp(int(args[0]), args[1]),
+    "inc": lambda args: IncrementOp(int(args[0]), args[1]),
+    "mul": lambda args: MultiplyOp(int(args[0]), args[1]),
+    "append": lambda args: AppendOp(int(args[0]), _json_safe_item(args[1])),
+}
+
+_OP_ARITY = {"read": 1, "write": 2, "inc": 2, "mul": 2, "append": 2}
+
+
+def decode_ops(raw: Any) -> List[Operation]:
+    """Decode the wire ``ops`` array into operation objects."""
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("ops must be a non-empty array")
+    ops: List[Operation] = []
+    for entry in raw:
+        if not isinstance(entry, list) or not entry:
+            raise ProtocolError(f"op must be a [kind, ...] array, got {entry!r}")
+        kind = entry[0]
+        decoder = _OP_DECODERS.get(kind)
+        if decoder is None:
+            raise ProtocolError(
+                f"unknown op kind {kind!r}; expected one of "
+                f"{sorted(_OP_DECODERS)}"
+            )
+        args = entry[1:]
+        if len(args) != _OP_ARITY[kind]:
+            raise ProtocolError(
+                f"op {kind!r} takes {_OP_ARITY[kind]} argument(s), "
+                f"got {len(args)}"
+            )
+        try:
+            ops.append(decoder(args))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad op {entry!r}: {exc}") from exc
+    return ops
+
+
+def encode_op(op: Operation) -> list:
+    """Inverse of :func:`decode_ops` for one operation (loadtest side)."""
+    if isinstance(op, IncrementOp):
+        return ["inc", op.oid, op.delta]
+    if isinstance(op, WriteOp):
+        return ["write", op.oid, op.new_value]
+    if isinstance(op, ReadOp):
+        return ["read", op.oid]
+    if isinstance(op, MultiplyOp):
+        return ["mul", op.oid, op.factor]
+    if isinstance(op, AppendOp):
+        return ["append", op.oid, op.item]
+    raise ProtocolError(f"operation {op!r} has no wire encoding")
+
+
+# ---------------------------------------------------------------------- #
+# acceptance criteria
+# ---------------------------------------------------------------------- #
+
+_ACCEPTANCE_FACTORIES = {
+    "always": AlwaysAccept,
+    "always-accept": AlwaysAccept,
+    "identical": IdenticalOutputs,
+    "identical-outputs": IdenticalOutputs,
+    "non-negative": NonNegativeOutputs,
+    "price-not-above": PriceNotAbove,
+    "within-tolerance": WithinTolerance,
+}
+
+
+def decode_acceptance(name: Optional[str]) -> AcceptanceCriterion:
+    """Resolve a wire acceptance name (missing/None means always-accept)."""
+    if name is None:
+        return AlwaysAccept()
+    factory = _ACCEPTANCE_FACTORIES.get(name)
+    if factory is None:
+        raise ProtocolError(
+            f"unknown acceptance criterion {name!r}; expected one of "
+            f"{sorted(_ACCEPTANCE_FACTORIES)}"
+        )
+    return factory()
+
+
+# ---------------------------------------------------------------------- #
+# framing
+# ---------------------------------------------------------------------- #
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one frame; every failure mode maps to :class:`ProtocolError`."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must be a JSON object")
+    if "type" not in message:
+        raise ProtocolError("frame missing 'type' field")
+    return message
+
+
+def error_reply(why: str, request_id: Any = None) -> Dict[str, Any]:
+    reply: Dict[str, Any] = {"type": "error", "why": why}
+    if request_id is not None:
+        reply["id"] = request_id
+    return reply

@@ -31,6 +31,15 @@ Example::
 from repro.sim.engine import Engine
 from repro.sim.events import SimEvent, Timeout
 from repro.sim.process import Process
+from repro.sim.protocol import CORE_ENGINE_MEMBERS, EngineProtocol
 from repro.sim.random_source import RandomSource
 
-__all__ = ["Engine", "SimEvent", "Timeout", "Process", "RandomSource"]
+__all__ = [
+    "CORE_ENGINE_MEMBERS",
+    "Engine",
+    "EngineProtocol",
+    "SimEvent",
+    "Timeout",
+    "Process",
+    "RandomSource",
+]

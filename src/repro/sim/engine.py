@@ -120,11 +120,16 @@ class Engine:
         """
         cache = self._timeout_cache
         cached = cache.get(delay)
-        if cached is None:
-            cached = Timeout(delay)
-            if len(cache) < _TIMEOUT_CACHE_LIMIT:
-                cache[delay] = cached
-        return cached
+        if cached is not None:
+            return cached
+        timeout = Timeout(delay)
+        if len(cache) >= _TIMEOUT_CACHE_LIMIT:
+            # cache full: hand back an uncached (still correct) Timeout —
+            # workloads cycle a small delay set, so evicting would thrash
+            # the delays that actually repeat
+            return timeout
+        cache[delay] = timeout
+        return timeout
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh pending :class:`SimEvent`."""

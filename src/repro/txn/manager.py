@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.exceptions import InvalidStateError
-from repro.sim.engine import Engine
+from repro.sim.protocol import EngineProtocol
 from repro.storage.lock_manager import LockManager, LockMode
 from repro.storage.store import ObjectStore
 from repro.storage.versioning import Timestamp, TimestampGenerator
@@ -50,7 +50,7 @@ class TransactionManager:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EngineProtocol,
         node_id: int,
         store: ObjectStore,
         locks: LockManager,

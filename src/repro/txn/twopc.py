@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Generator, List, Sequence
 
-from repro.sim.engine import Engine
+from repro.sim.protocol import EngineProtocol
 from repro.txn.transaction import Transaction
 
 
@@ -76,7 +76,7 @@ class Participant:
 class TwoPhaseCommit:
     """Presumed-abort two-phase-commit coordinator."""
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: EngineProtocol):
         self.engine = engine
         self.commits = 0
         self.aborts = 0

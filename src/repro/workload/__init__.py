@@ -17,11 +17,18 @@ Scenario workloads reproduce the paper's running examples:
   night it connects").
 """
 
-from repro.workload.profiles import TransactionProfile, uniform_update_profile
+from repro.workload.profiles import (
+    TransactionProfile,
+    ZipfProfile,
+    ZipfSampler,
+    uniform_update_profile,
+)
 from repro.workload.generator import WorkloadGenerator
 
 __all__ = [
     "TransactionProfile",
+    "ZipfProfile",
+    "ZipfSampler",
     "uniform_update_profile",
     "WorkloadGenerator",
 ]

@@ -91,3 +91,79 @@ def uniform_update_profile(
         db_size=db_size,
         op_factory=increment_op_factory if commutative else write_op_factory,
     )
+
+
+class ZipfSampler:
+    """Zipfian object sampler (the YCSB/Gray generator).
+
+    Rank ``k`` (0-based) is drawn with probability proportional to
+    ``1 / (k+1)**theta``.  Setup is O(n) (one zeta sum); each sample is
+    O(1), so a million-object skewed workload streams without per-object
+    state — the ROADMAP's O(1)-memory generator requirement.
+
+    ``theta`` must be in (0, 1): 0.99 is the YCSB default ("hot" skew),
+    smaller values flatten toward uniform.  The low ranks are the hot
+    objects; callers wanting the hotspot spread across the id space can
+    permute ranks themselves.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99):
+        if n <= 0:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        if not 0.0 < theta < 1.0:
+            raise ConfigurationError(
+                f"theta must be in (0, 1), got {theta}"
+            )
+        self.n = n
+        self.theta = theta
+        self._zetan = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        zeta2 = 1.0 + 0.5 ** theta  # zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        if n >= 2:
+            self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+                1.0 - zeta2 / self._zetan
+            )
+        else:
+            self._eta = 0.0
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank in ``[0, n)``; rank 0 is the hottest object."""
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        rank = int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return rank if rank < self.n else self.n - 1
+
+
+class ZipfProfile(TransactionProfile):
+    """A :class:`TransactionProfile` with Zipf-skewed object choice.
+
+    Replaces the uniform/hotspot ``choose_oids`` with draws from a
+    :class:`ZipfSampler`; duplicates are rejection-sampled away so each
+    transaction still touches ``actions`` *distinct* objects.
+    """
+
+    def __init__(
+        self,
+        actions: int,
+        db_size: int,
+        theta: float = 0.99,
+        op_factory: OpFactory = increment_op_factory,
+    ):
+        super().__init__(actions=actions, db_size=db_size,
+                         op_factory=op_factory)
+        self.theta = theta
+        self._zipf = ZipfSampler(db_size, theta)
+
+    def choose_oids(self, rng: random.Random) -> List[int]:
+        chosen: List[int] = []
+        seen: set = set()
+        while len(chosen) < self.actions:
+            oid = self._zipf.sample(rng)
+            if oid not in seen:
+                seen.add(oid)
+                chosen.append(oid)
+        return chosen

@@ -1,0 +1,103 @@
+"""Conformance tests for the explicit engine interface (sim/protocol.py).
+
+Three kernels, one contract: the slotted ``Engine``, the asyncio-backed
+``WallClockEngine``, and (core tier only) the frozen ``LegacyEngine``.
+These tests are structural — a kernel that forgets a member fails here
+before any strategy trips over it at runtime.
+"""
+
+import pytest
+
+from repro.sim import CORE_ENGINE_MEMBERS, Engine, EngineProtocol
+from repro.sim.legacy_kernel import LegacyEngine
+from repro.service import WallClockEngine
+
+
+def test_engine_satisfies_full_protocol():
+    assert isinstance(Engine(), EngineProtocol)
+
+
+def test_wallclock_engine_satisfies_full_protocol():
+    assert isinstance(WallClockEngine(), EngineProtocol)
+
+
+def test_legacy_engine_satisfies_core_tier():
+    # the frozen benchmark reference predates schedule_at/_spawn/profiler;
+    # it must keep the scheduling core it has always had, nothing more
+    legacy = LegacyEngine()
+    missing = [name for name in CORE_ENGINE_MEMBERS
+               if not hasattr(legacy, name)]
+    assert not missing, f"LegacyEngine lost core members: {missing}"
+
+
+def test_core_members_are_a_subset_of_the_full_protocol():
+    engine = Engine()
+    missing = [name for name in CORE_ENGINE_MEMBERS
+               if not hasattr(engine, name)]
+    assert not missing
+
+
+def test_incomplete_kernel_fails_the_protocol_check():
+    class NotAnEngine:
+        now = 0.0
+
+        def schedule(self, delay, callback, *args):
+            pass
+
+    assert not isinstance(NotAnEngine(), EngineProtocol)
+
+
+def test_protocol_is_runtime_checkable_not_nominal():
+    # structural typing: a class never importing EngineProtocol conforms
+    # if (and only if) it has the members
+    class Structural:
+        def __init__(self):
+            self.now = 0.0
+            self.profiler = None
+            self.queued_events = 0
+            self.events_scheduled = 0
+
+        def schedule(self, delay, callback, *args):
+            pass
+
+        def schedule_now(self, callback, *args):
+            pass
+
+        def schedule_at(self, at, callback, *args):
+            pass
+
+        def timeout(self, delay):
+            pass
+
+        def event(self, name=""):
+            pass
+
+        def process(self, generator, name=""):
+            pass
+
+        def _spawn(self, generator, name=""):
+            pass
+
+        def run(self, until=None):
+            pass
+
+        def peek(self):
+            return None
+
+    assert isinstance(Structural(), EngineProtocol)
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.txn.manager",
+    "repro.txn.twopc",
+    "repro.network.network",
+    "repro.storage.lock_manager",
+    "repro.replication.gossip",
+])
+def test_system_layers_type_against_the_protocol(module_name):
+    """The layers the wall-clock kernel drives import the protocol, not
+    the concrete Engine — the import is what keeps them kernel-agnostic."""
+    import importlib
+
+    module = importlib.import_module(module_name)
+    assert getattr(module, "EngineProtocol", None) is EngineProtocol

@@ -1,0 +1,300 @@
+"""Tests for the live NDJSON gateway (``repro serve``).
+
+Every test spins a real :class:`ServiceGateway` on a unix socket inside
+``tmp_path`` and talks the wire protocol to it — the same bytes a remote
+client would send.  The satellite concern rides here too: acceptance
+diagnostics must round-trip to the originating client through the gateway
+path exactly as they do through the simulator's reconnect path.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import NonNegativeOutputs, TwoTierSystem
+from repro.core.tentative import TentativeStatus
+from repro.replication import SystemSpec
+from repro.service import GatewayConfig, ServiceGateway
+from repro.txn.ops import IncrementOp
+
+
+class Client:
+    """A minimal NDJSON client: one connection, frame in / frame out."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, path):
+        reader, writer = await asyncio.open_unix_connection(path)
+        client = cls(reader, writer)
+        client.welcome = await client.recv()
+        return client
+
+    async def send(self, **frame):
+        self.writer.write(json.dumps(frame).encode() + b"\n")
+        await self.writer.drain()
+
+    async def recv(self):
+        line = await self.reader.readline()
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    async def txn(self, ops, acceptance=None, request_id=None, label=""):
+        frame = {"type": "txn", "ops": ops, "label": label}
+        if acceptance is not None:
+            frame["acceptance"] = acceptance
+        if request_id is not None:
+            frame["id"] = request_id
+        await self.send(**frame)
+        return await self.recv()
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def with_gateway(config=None):
+    """Decorator-free harness: run ``scenario(gateway, path)`` to completion."""
+    def runner(scenario, tmp_path):
+        async def main():
+            path = str(tmp_path / "gw.sock")
+            gateway = ServiceGateway(config or GatewayConfig(
+                db_size=50, initial_value=100
+            ))
+            await gateway.start(unix_path=path)
+            server = asyncio.create_task(gateway.run())
+            try:
+                return await scenario(gateway, path)
+            finally:
+                gateway.request_stop()
+                await server
+
+        return asyncio.run(main())
+    return runner
+
+
+class TestTransactions:
+    def test_accepted_increment_commits_at_base(self, tmp_path):
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            reply = await client.txn([["inc", 0, 7]], request_id=1)
+            await client.close()
+            return gateway, reply
+
+        gateway, reply = with_gateway()(scenario, tmp_path)
+        assert reply["type"] == "result"
+        assert reply["id"] == 1
+        assert reply["status"] == "accepted"
+        assert reply["latency_ms"] >= 0
+        assert gateway.system.nodes[0].store.value(0) == 107
+
+    def test_notice_travelled_base_to_mobile(self, tmp_path):
+        """Satellite: the reply's acknowledgement comes from the real
+        tentative-notice message, not a shortcut — ``noticed`` proves the
+        base → mobile delivery happened before the reply was written."""
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            reply = await client.txn([["inc", 3, 1]])
+            await client.close()
+            return reply
+
+        reply = with_gateway()(scenario, tmp_path)
+        assert reply["noticed"] is True
+
+    def test_rejection_diagnostic_round_trips_to_the_client(self, tmp_path):
+        """Satellite: acceptance.py diagnostics reach the originating
+        mobile through the gateway path."""
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            # 100 - 150 goes negative: NonNegativeOutputs must reject and
+            # explain itself all the way back over the socket
+            reply = await client.txn([["inc", 2, -150]],
+                                     acceptance="non-negative")
+            await client.close()
+            return gateway, reply
+
+        gateway, reply = with_gateway()(scenario, tmp_path)
+        assert reply["status"] == "rejected"
+        assert reply["noticed"] is True
+        assert "diagnostic" in reply and reply["diagnostic"]
+        # the base state is untouched by the rejected transaction
+        assert gateway.system.nodes[0].store.value(2) == 100
+        assert gateway.rejected == 1
+
+    def test_scope_violation_is_an_error_reply(self, tmp_path):
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            reply = await client.txn([["inc", 9999, 1]], request_id=5)
+            await client.close()
+            return reply
+
+        reply = with_gateway()(scenario, tmp_path)
+        assert reply["type"] == "error"
+        assert reply["id"] == 5
+
+    def test_malformed_frames_get_protocol_errors(self, tmp_path):
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            replies = []
+            await client.send(type="txn", ops=[["frob", 1, 2]])
+            replies.append(await client.recv())
+            await client.send(type="txn", ops=[["inc", 1]])  # bad arity
+            replies.append(await client.recv())
+            await client.send(type="nonsense")
+            replies.append(await client.recv())
+            self_line = b"this is not json\n"
+            client.writer.write(self_line)
+            await client.writer.drain()
+            replies.append(await client.recv())
+            await client.close()
+            return replies
+
+        replies = with_gateway()(scenario, tmp_path)
+        assert all(reply["type"] == "error" for reply in replies)
+
+    def test_ping_and_stats(self, tmp_path):
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            await client.txn([["inc", 0, 1]])
+            await client.send(type="ping", id="p1")
+            pong = await client.recv()
+            await client.send(type="stats")
+            stats = await client.recv()
+            await client.close()
+            return pong, stats
+
+        pong, stats = with_gateway()(scenario, tmp_path)
+        assert pong == {"type": "pong", "id": "p1"}
+        assert stats["type"] == "stats"
+        assert stats["served"] == 1
+        assert stats["accepted"] == 1
+        assert stats["latency_ms"]["count"] == 1
+
+    def test_welcome_frame_describes_the_service(self, tmp_path):
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            await client.close()
+            return client.welcome
+
+        welcome = with_gateway()(scenario, tmp_path)
+        assert welcome["type"] == "welcome"
+        assert welcome["protocol"] == 1
+        assert welcome["db_size"] == 50
+        assert welcome["mobile"] in (1, 2, 3, 4)
+
+
+class TestConcurrency:
+    def test_many_connections_sum_correctly(self, tmp_path):
+        """Concurrent clients on shared objects: the drained store sum
+        must equal the initial mass plus every accepted delta."""
+        async def scenario(gateway, path):
+            async def one_client(k):
+                client = await Client.connect(path)
+                total = 0
+                for i in range(10):
+                    reply = await client.txn([["inc", (k + i) % 50, 1]])
+                    if reply.get("status") == "accepted":
+                        total += 1
+                await client.close()
+                return total
+
+            totals = await asyncio.gather(*(one_client(k) for k in range(8)))
+            drain_client = await Client.connect(path)
+            await drain_client.send(type="drain")
+            drained = await drain_client.recv()
+            await drain_client.close()
+            return sum(totals), drained
+
+        accepted, drained = with_gateway()(scenario, tmp_path)
+        assert accepted == 80
+        assert drained["type"] == "drained"
+        assert drained["store_sum"] == 50 * 100 + accepted
+        assert drained["base_divergence"] == 0
+        assert drained["wal_quiescent"] is True
+        assert drained["inflight"] == 0
+
+    def test_backpressure_cap_of_one_still_serves_all(self, tmp_path):
+        config = GatewayConfig(db_size=50, initial_value=0, max_inflight=1)
+
+        async def scenario(gateway, path):
+            async def one_client():
+                client = await Client.connect(path)
+                statuses = [
+                    (await client.txn([["inc", 0, 1]]))["status"]
+                    for _ in range(5)
+                ]
+                await client.close()
+                return statuses
+
+            results = await asyncio.gather(*(one_client() for _ in range(4)))
+            return gateway, results
+
+        gateway, results = with_gateway(config)(scenario, tmp_path)
+        assert all(s == "accepted" for batch in results for s in batch)
+        assert gateway.system.nodes[0].store.value(0) == 20
+
+    def test_drain_refuses_new_transactions(self, tmp_path):
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            await client.send(type="drain")
+            await client.recv()
+            reply = await client.txn([["inc", 0, 1]])
+            await client.close()
+            return reply
+
+        reply = with_gateway()(scenario, tmp_path)
+        assert reply["type"] == "error"
+        assert "draining" in reply["why"]
+
+
+class TestSimPathParity:
+    """The same diagnostics round-trip through the simulator's reconnect
+    exchange — the gateway is a second door into one mechanism."""
+
+    def test_rejection_diagnostic_round_trips_in_sim_mode(self):
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=2, db_size=20, initial_value=100),
+            num_base=1,
+        )
+        mobile = system.mobile(1)
+        system.disconnect_mobile(1)
+        mobile.submit_tentative([IncrementOp(0, -150)], NonNegativeOutputs())
+        system.run()
+        system.reconnect_mobile(1)
+        system.run()
+        assert len(mobile.rejected_transactions) == 1
+        record = mobile.rejected_transactions[0]
+        assert record.diagnostic
+        notice = mobile.pop_notice(record.seq)
+        assert notice is not None
+        assert notice[1] is TentativeStatus.REJECTED
+        assert notice[2] == record.diagnostic
+
+    def test_pop_notice_consumes_exactly_one(self):
+        system = TwoTierSystem(
+            SystemSpec(num_nodes=2, db_size=20, initial_value=100),
+            num_base=1,
+        )
+        mobile = system.mobile(1)
+        mobile.record_notice(7, TentativeStatus.ACCEPTED, "")
+        mobile.record_notice(8, TentativeStatus.REJECTED, "no")
+        assert mobile.pop_notice(8) == (8, TentativeStatus.REJECTED, "no")
+        assert mobile.pop_notice(8) is None
+        assert mobile.pop_notice(7) == (7, TentativeStatus.ACCEPTED, "")
+        assert mobile.notices == []
+
+
+class TestConfigValidation:
+    def test_rejects_zero_mobiles(self):
+        with pytest.raises(ValueError):
+            ServiceGateway(GatewayConfig(mobiles=0))
+
+    def test_rejects_nonpositive_inflight_cap(self):
+        with pytest.raises(ValueError):
+            ServiceGateway(GatewayConfig(max_inflight=0))
