@@ -25,6 +25,15 @@ factor the growth order drops from cubic to **quadratic** in nodes; at
 Each function caps ``k`` at ``p.nodes``, matching the bound placement
 (``HashShardPlacement`` clamps its factor to the node count), so sweeping a
 node axis through ``nodes < k`` degrades gracefully to full replication.
+
+The dividend is a property of the *replication factor*, not of how the
+map is built: a :class:`~repro.placement.DirectoryPlacement` with the
+same ``k`` carries the same ``k / Nodes`` scaling, whether its shards are
+grouped by locality or by hash — the campaign layer reads ``k`` off any
+placement spec exposing ``replication_factor``, so directory sweeps get
+these reference curves with no extra wiring.  (Locality grouping changes
+*which* conflicts happen — co-located hot objects contend on fewer nodes
+— not the equations' replica-count arithmetic.)
 """
 
 from __future__ import annotations

@@ -245,9 +245,13 @@ def _add_model_track_argument(parser: argparse.ArgumentParser) -> None:
 def _add_placement_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--placement", default=None, metavar="SPEC",
                         help="replica placement spec: 'full' (default: "
-                        "every node holds every object) or "
+                        "every node holds every object), "
                         "'hash:k=<replicas>[,seed=<n>]' for rendezvous-"
-                        "hashed partial replication (e.g. hash:k=3)")
+                        "hashed partial replication (e.g. hash:k=3), or "
+                        "'dir:k=<replicas>[,shards=<S>][,group=locality|"
+                        "hash][,seed=<n>]' for an explicit shard-map "
+                        "directory with locality grouping and live "
+                        "migration (e.g. dir:k=3,group=locality)")
 
 
 def _placement_spec(args: argparse.Namespace):
@@ -313,6 +317,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"resident objects/node: max {resident['max']} "
               f"mean {resident['mean']:.1f} of db_size {resident['db_size']} "
               f"(replication factor {resident['replication_factor']})")
+        if "materialized_total" in resident:
+            print(f"materialized records: {resident['materialized_total']} "
+                  f"of {resident['total']} nominal "
+                  f"(max/node {resident['materialized_max']})")
     if result.extra.get("fault_stats"):
         print(format_table(
             ["fault", "count"],

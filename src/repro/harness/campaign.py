@@ -80,8 +80,10 @@ TIMEOUT = "timeout"
 #  5: placement joined the config hash, extras carry resident_objects;
 #  6: model tracks joined the campaign layer — sim payloads are unchanged,
 #     but the bump retires caches written before the aggregate/export split
-#     so every cached cell replays under the new schema)
-CACHE_VERSION = 6
+#     so every cached cell replays under the new schema;
+#  7: directory placements + lazy stores — resident_objects extras grew
+#     materialized_* fields and propagation pruning re-timed partial runs)
+CACHE_VERSION = 7
 
 #: the selectable analytic tracks the campaign layer can judge cells with
 MODEL_TRACKS: Tuple[str, ...] = ("closed-form", "markov")

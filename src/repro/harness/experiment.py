@@ -103,6 +103,11 @@ class ExperimentConfig:
             every node's store to its replica set.  Joins the campaign
             cache key via its canonical ``to_dict``.  For two-tier the
             placement spans the base tier only.
+        eager_stores: materialise every resident record up front under a
+            partial placement instead of lazily on first touch (the
+            pre-lazy behaviour).  Observationally identical to the lazy
+            default — the parity tests pin byte-identical fingerprints —
+            so this is a memory/allocation trade-off, not a semantic knob.
     """
 
     strategy: str
@@ -123,6 +128,7 @@ class ExperimentConfig:
     telemetry: Optional[Any] = None
     profiler: Optional[Any] = None
     placement: Optional[Placement] = None
+    eager_stores: bool = False
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -221,6 +227,7 @@ def build_system(
         telemetry=telemetry if telemetry is not None else _make_telemetry(config),
         placement=config.placement,
         faults=config.faults,
+        eager_stores=config.eager_stores,
     )
     if config.strategy == "lazy-group":
         propagate = (
@@ -342,11 +349,18 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         "oracle_failures": verdict.failures or None,
         "submitted": getattr(driver, "submitted", None),
     }
-    resident = [len(node.store) for node in system.nodes]
+    # max/mean/total report the placement's *nominal* shard sizes (stable
+    # across eager and lazy stores, pinned by the partial goldens); the
+    # materialized_* fields count records the run actually allocated —
+    # under lazy stores that is only what transactions touched
+    resident = system.nominal_resident_counts()
+    materialized = system.materialized_counts()
     extra["resident_objects"] = {
         "max": max(resident),
         "mean": sum(resident) / len(resident),
         "total": sum(resident),
+        "materialized_max": max(materialized),
+        "materialized_total": sum(materialized),
         "db_size": p.db_size,
         "replication_factor": system.placement.replication_factor,
     }

@@ -33,7 +33,7 @@ class Metrics:
     #: ``extra`` names the simulator itself uses; the whitelist strict mode
     #: checks ad-hoc bumps against.
     KNOWN_EXTRAS: ClassVar[FrozenSet[str]] = frozenset(
-        {"rejected_node_down", "crashes", "recoveries"}
+        {"rejected_node_down", "crashes", "recoveries", "migrations"}
     )
     #: declared counter field names, cached so :meth:`bump` is a frozenset
     #: membership test plus one attribute store (filled in after the class

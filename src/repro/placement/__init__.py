@@ -11,7 +11,7 @@ A :class:`~repro.placement.base.Placement` is a pure-data recipe
 ``(num_nodes, db_size)`` yields the directory object the system queries:
 ``replicas(oid)``, ``master(oid)``, ``objects_at(node_id)``.
 
-Two implementations:
+Three implementations:
 
 * :class:`~repro.placement.full.FullReplication` — today's behaviour and
   the default everywhere; every node materialises the whole database.
@@ -19,15 +19,21 @@ Two implementations:
   (highest-random-weight) hashing: deterministic, seedable, O(1) directory
   state, balanced within a few percent, and replica sets move minimally
   when nodes are added.
+* :class:`~repro.placement.directory.DirectoryPlacement` — an explicit
+  shard map on a seeded node ring: locality-aware grouping (objects that
+  transact together co-locate) and live per-object migration via
+  ``move(oid, src, dst)``, at O(S·k) directory state.
 """
 
 from repro.placement.base import BoundPlacement, Placement
+from repro.placement.directory import DirectoryPlacement
 from repro.placement.full import FullReplication
 from repro.placement.hash_shard import HashShardPlacement
 
 __all__ = [
     "BoundPlacement",
     "Placement",
+    "DirectoryPlacement",
     "FullReplication",
     "HashShardPlacement",
 ]

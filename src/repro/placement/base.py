@@ -162,6 +162,21 @@ class BoundPlacement:
             out.append(self.db_size if resident is None else len(resident))
         return out
 
+    # -- migration ----------------------------------------------------- #
+
+    def move(self, oid: int, src: int, dst: int) -> Tuple[int, ...]:
+        """Rebind ``oid``'s replica set, replacing ``src`` with ``dst``.
+
+        Only directory-backed placements support live migration — a pure
+        function of ``(seed, oid, node)`` has no map to rewrite.  Returns
+        the new replica set (master position preserved).
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support live migration; "
+            "computed placements have no directory to rewrite — use "
+            "DirectoryPlacement (spec 'dir:...')"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<{type(self).__name__} nodes={self.num_nodes} "

@@ -72,8 +72,15 @@ class SystemSpec:
         placement: which nodes hold each object.  ``None`` means
             :class:`~repro.placement.FullReplication` — every node
             materialises the whole database, the paper's model.  A partial
-            placement (``HashShardPlacement``) shards the stores and
-            restricts propagation to each object's replica set.
+            placement (``HashShardPlacement``, ``DirectoryPlacement``)
+            shards the stores and restricts propagation to each object's
+            replica set.
+        eager_stores: materialise every resident record up front under a
+            partial placement instead of lazily on first touch.  The two
+            modes are observationally identical (the parity tests pin
+            byte-identical fingerprints); eager trades memory for
+            allocation-free reads and is the pre-lazy behaviour.  Full
+            replication is always eager.
         faults: optional :class:`~repro.faults.plan.FaultPlan`; when given
             (and non-empty) the system installs a
             :class:`~repro.faults.injector.FaultInjector` at construction,
@@ -96,6 +103,7 @@ class SystemSpec:
     telemetry: Any = None
     placement: Optional[Placement] = None
     faults: Optional[FaultPlan] = None
+    eager_stores: bool = False
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -286,6 +294,24 @@ class ReplicatedSystem:
             return None
         return self.placement.objects_at(node_id)
 
+    def _make_store(self, node_id: int, db_size: int, initial_value: Any) -> ObjectStore:
+        placement = self.placement
+        if node_id >= placement.num_nodes or placement.is_full:
+            # full replica (the classic model, or a two-tier mobile)
+            return ObjectStore(node_id, db_size, initial_value=initial_value)
+        if self.spec.eager_stores:
+            return ObjectStore(
+                node_id, db_size, initial_value=initial_value,
+                oids=placement.objects_at(node_id),
+            )
+        # lazy shard: records materialise on first touch, so building a
+        # node never enumerates the object space — a 10k-node / 1M-object
+        # system allocates only what its transactions actually read
+        return ObjectStore(
+            node_id, db_size, initial_value=initial_value,
+            resident=lambda oid, _p=placement, _n=node_id: _p.is_replica(oid, _n),
+        )
+
     def _node_holds(self, oid: int, node_id: int) -> bool:
         """Does ``node_id`` materialise a copy of ``oid``?"""
         if node_id >= self.placement.num_nodes:
@@ -300,10 +326,7 @@ class ReplicatedSystem:
         lock_reads: bool,
         initial_value: Any,
     ) -> NodeContext:
-        store = ObjectStore(
-            node_id, db_size, initial_value=initial_value,
-            oids=self._resident_oids(node_id),
-        )
+        store = self._make_store(node_id, db_size, initial_value)
         locks = LockManager(
             self.engine,
             node_id,
@@ -338,6 +361,12 @@ class ReplicatedSystem:
                 self.network.park_inbound(msg)
                 return None
             self.metrics.messages += 1
+            if msg.kind == "record-transfer":
+                # shard migration payload — strategy-agnostic, handled here
+                # so every system supports moves without its own plumbing
+                oid, value, ts = msg.payload
+                node.store.adopt(oid, value, ts)
+                return None
             return self.handle_message(node, msg)
 
         return handler
@@ -363,19 +392,27 @@ class ReplicatedSystem:
             "wal_active_txns",
             lambda: sum(n.wal.pending_transactions() for n in self.nodes),
         )
-        for node in self.nodes:
-            telemetry.gauge(
-                f"wal_active_txns/node{node.node_id}",
-                node.wal.pending_transactions,
-            )
+        # per-node series are priceless at demo scale and pure overhead at
+        # sweep scale; cap them so a 10k-node system doesn't register tens
+        # of thousands of gauges
+        per_node = self.num_nodes <= 64
+        if per_node:
+            for node in self.nodes:
+                telemetry.gauge(
+                    f"wal_active_txns/node{node.node_id}",
+                    node.wal.pending_transactions,
+                )
+        # counts *materialised* records: under lazy stores this tracks what
+        # the run actually touched, not the placement's nominal shard sizes
         telemetry.gauge(
             "resident_objects",
             lambda: sum(len(n.store) for n in self.nodes),
         )
-        for node in self.nodes:
-            telemetry.gauge(
-                f"resident_objects/node{node.node_id}", node.store.__len__
-            )
+        if per_node:
+            for node in self.nodes:
+                telemetry.gauge(
+                    f"resident_objects/node{node.node_id}", node.store.__len__
+                )
         self.network.bind_telemetry(telemetry)
         telemetry.counter_rate("commit_rate", lambda: self.metrics.commits)
         telemetry.counter_rate("abort_rate", lambda: self.metrics.aborts)
@@ -555,6 +592,51 @@ class ReplicatedSystem:
             self.network.reconnect(node_id)
 
     # ------------------------------------------------------------------ #
+    # shard migration (directory placements)
+    # ------------------------------------------------------------------ #
+
+    def migrate(self, oid: int, src: int, dst: int) -> None:
+        """Move ``oid``'s replica from ``src`` to ``dst`` live.
+
+        Rebinds the directory first (so routing, residency predicates and
+        propagation immediately see the new replica set), then ships the
+        record itself to ``dst`` as a ``record-transfer`` message through
+        the normal network path — it takes the same delay, faults and
+        store-and-forward parking as any replica update — and evicts the
+        source copy.  If ``dst`` commits a write while the transfer is in
+        flight, the transfer's older timestamp loses at adoption (the
+        Thomas write rule), same as a stale replica update.
+
+        Raises :class:`ConfigurationError` for placements without a
+        directory (full, hash) or invalid ``src``/``dst`` membership, and
+        :class:`InvalidStateError` when either endpoint is crashed.
+        """
+        if src in self.crashed or dst in self.crashed:
+            down = src if src in self.crashed else dst
+            raise InvalidStateError(
+                f"cannot migrate object {oid}: node {down} is crashed"
+            )
+        if not (0 <= src < len(self.nodes) and 0 <= dst < len(self.nodes)):
+            raise ConfigurationError(
+                f"migration endpoints ({src}, {dst}) outside the system's "
+                f"{len(self.nodes)} nodes"
+            )
+        record = self.nodes[src].store.read(oid)
+        self.placement.move(oid, src, dst)
+        # master strategies snapshot oid -> owner at construction; rebind
+        # the moved entry so writes keep routing to a node that holds a
+        # copy (the directory preserves the master position on move)
+        ownership = getattr(self, "ownership", None)
+        if ownership is not None and ownership.get(oid) == src:
+            ownership[oid] = self.placement.master(oid)
+        self.network.send(
+            src, dst, "record-transfer", (oid, record.value, record.ts)
+        )
+        self.nodes[src].store.evict(oid)
+        self.metrics.bump("migrations")
+        self._trace("migrate", oid=oid, src=src, dst=dst)
+
+    # ------------------------------------------------------------------ #
     # observation
     # ------------------------------------------------------------------ #
 
@@ -587,7 +669,10 @@ class ReplicatedSystem:
             if len(holders) < 2:
                 continue
             try:
-                values = [stores[node_id].value(oid) for node_id in holders]
+                # peek, not value: probing must not materialise records in
+                # lazy stores (a full-keyspace sweep would allocate db_size
+                # records per node and defeat the laziness)
+                values = [stores[node_id].peek(oid) for node_id in holders]
             except KeyError:
                 raise InvalidStateError(
                     f"object {oid} is missing from one of its replica "
@@ -603,6 +688,21 @@ class ReplicatedSystem:
 
     def snapshot(self, node_id: int = 0) -> Dict[int, Any]:
         return self.nodes[node_id].store.snapshot()
+
+    def nominal_resident_counts(self) -> List[int]:
+        """Logically resident objects per node — the placement's shard
+        sizes, independent of how many records a lazy store has actually
+        materialised.  Nodes outside the placement scope (two-tier
+        mobiles) hold full replicas."""
+        counts = list(self.placement.resident_counts())
+        counts.extend(
+            [self.db_size] * (self.num_nodes - self.placement.num_nodes)
+        )
+        return counts
+
+    def materialized_counts(self) -> List[int]:
+        """Records actually allocated per node (== nominal when eager)."""
+        return [node.store.materialized for node in self.nodes]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

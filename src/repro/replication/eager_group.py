@@ -64,6 +64,9 @@ class EagerGroupSystem(ReplicatedSystem):
         # the origin is always in the release set: serializable reads take
         # shared locks there even when the transaction writes elsewhere
         touched: List[NodeContext] = [self.nodes[origin]]
+        is_full = self.placement.is_full
+        if not is_full:
+            participant_ids = {node.node_id for node in participants}
         try:
             for op in ops:
                 if op.is_read:
@@ -72,11 +75,21 @@ class EagerGroupSystem(ReplicatedSystem):
                     )
                     continue
                 # under a partial placement only the object's replicas are
-                # updated; with full replication this is all participants
-                sites = [
-                    node for node in participants
-                    if self._node_holds(op.oid, node.node_id)
-                ]
+                # updated; with full replication this is all participants.
+                # Sites come from the op's replica set (O(k log k)), not a
+                # scan of all participants — same order as the old filter:
+                # origin first, then ascending node id.
+                if is_full:
+                    sites = participants
+                else:
+                    replica_ids = self.placement.replicas(op.oid)
+                    sites = [
+                        self.nodes[node_id]
+                        for node_id in sorted(replica_ids)
+                        if node_id in participant_ids and node_id != origin
+                    ]
+                    if origin in replica_ids:
+                        sites.insert(0, self.nodes[origin])
                 for node in sites:
                     if node not in touched:
                         touched.append(node)
@@ -219,6 +232,12 @@ class EagerGroupSystem(ReplicatedSystem):
         txn = node.tm.begin(label="catchup")
         try:
             for update in updates:
+                if not self.placement.is_full and not self._node_holds(
+                    update.oid, node.node_id
+                ):
+                    # migrated away while the catch-up was parked; the
+                    # record travelled to its new holder at move time
+                    continue
                 if node.store.timestamp(update.oid) >= update.new_ts:
                     self.metrics.stale_updates += 1
                     continue

@@ -134,24 +134,28 @@ class LazyGroupSystem(ReplicatedSystem):
             return
         # where did the root execute each update?  that replica is already
         # current and must not receive a redundant (and reconciliation-
-        # counting) copy
-        executed_at = {
-            u.oid: (
+        # counting) copy.  Recipients come from the updates' replica sets
+        # (O(updates·k)) rather than a scan over all N nodes, so a commit
+        # in a 10k-node system costs what its replica sets cost — sends
+        # stay in ascending node order to keep delivery deterministic.
+        placement = self.placement
+        extra_holders = range(placement.num_nodes, self.num_nodes)
+        needed_by_node: dict = {}
+        for u in updates:
+            executed_at = (
                 origin if self._node_holds(u.oid, origin)
-                else self.placement.master(u.oid)
+                else placement.master(u.oid)
             )
-            for u in updates
-        }
-        for node in self.nodes:
-            needed = [
-                u for u in updates
-                if self._node_holds(u.oid, node.node_id)
-                and executed_at[u.oid] != node.node_id
-            ]
-            if not needed:
-                continue
+            holders = placement.replicas(u.oid)
+            for node_id in (
+                holders if not extra_holders
+                else list(holders) + list(extra_holders)
+            ):
+                if node_id != executed_at:
+                    needed_by_node.setdefault(node_id, []).append(u)
+        for node_id in sorted(needed_by_node):
             self.network.send(
-                origin, node.node_id, "replica-update", (needed, 0)
+                origin, node_id, "replica-update", (needed_by_node[node_id], 0)
             )
 
     # ------------------------------------------------------------------ #
@@ -176,6 +180,14 @@ class LazyGroupSystem(ReplicatedSystem):
         txn = node.tm.begin(label="replica-update")
         try:
             for update in updates:
+                if not self.placement.is_full and not self._node_holds(
+                    update.oid, node.node_id
+                ):
+                    # the object migrated away while this update was in
+                    # flight; the record travelled to its new holder at
+                    # move time, so applying here would resurrect a copy
+                    # the directory no longer routes to
+                    continue
                 event = node.locks.acquire(txn, update.oid, LockMode.EXCLUSIVE)
                 if event is not None:
                     yield event

@@ -166,16 +166,26 @@ class LazyMasterSystem(ReplicatedSystem):
             )
             for u in txn.updates
         ]
-        for node in self.nodes:
+        if self.placement.is_full:
+            recipient_ids = range(self.num_nodes)
+        else:
+            # a partial placement prunes the broadcast: recipients come
+            # from the updates' replica sets plus any nodes outside the
+            # placement scope (two-tier mobiles hold full replicas), not
+            # a scan over all N nodes — ascending order keeps delivery
+            # deterministic
+            holders = set(range(self.placement.num_nodes, self.num_nodes))
+            for u in updates:
+                holders.update(self.placement.replicas(u.oid))
+            recipient_ids = sorted(holders)
+        for node_id in recipient_ids:
             # a node that masters every written object is already current;
             # everyone else (including the originator, for remote-mastered
             # objects) gets a slave refresh — N transactions total (Table 1).
-            # A partial placement prunes further: only the object's replica
-            # set ever receives its updates.
             needed = [
                 u for u in updates
-                if self.ownership[u.oid] != node.node_id
-                and self._node_holds(u.oid, node.node_id)
+                if self.ownership[u.oid] != node_id
+                and self._node_holds(u.oid, node_id)
             ]
             if not needed:
                 continue
@@ -187,12 +197,12 @@ class LazyMasterSystem(ReplicatedSystem):
                     ).append(update)
                 for master_id, slice_updates in by_master.items():
                     self.network.send(
-                        master_id, node.node_id, "slave-update",
+                        master_id, node_id, "slave-update",
                         (slice_updates, 0),
                     )
             else:
                 self.network.send(
-                    origin, node.node_id, "slave-update", (needed, 0)
+                    origin, node_id, "slave-update", (needed, 0)
                 )
 
     # ------------------------------------------------------------------ #
@@ -213,6 +223,12 @@ class LazyMasterSystem(ReplicatedSystem):
             for update in updates:
                 if self.ownership[update.oid] == node.node_id:
                     continue  # master copy is the source of truth already
+                if not self.placement.is_full and not self._node_holds(
+                    update.oid, node.node_id
+                ):
+                    # migrated away while the update was in flight; the
+                    # record travelled to its new holder at move time
+                    continue
                 event = node.locks.acquire(txn, update.oid, LockMode.EXCLUSIVE)
                 if event is not None:
                     yield event

@@ -161,9 +161,24 @@ class ZipfProfile(TransactionProfile):
     def choose_oids(self, rng: random.Random) -> List[int]:
         chosen: List[int] = []
         seen: set = set()
-        while len(chosen) < self.actions:
+        # bounded rejection sampling: with actions near db_size under
+        # strong skew, the unbounded loop could spin pathologically long
+        # re-drawing the same hot ranks (liveness, not correctness).  After
+        # the attempt budget, fill the remaining slots deterministically
+        # with the hottest not-yet-seen ranks — the closest ids to what
+        # the sampler would eventually have produced.
+        attempts = 8 * self.actions + 32
+        while len(chosen) < self.actions and attempts > 0:
+            attempts -= 1
             oid = self._zipf.sample(rng)
             if oid not in seen:
                 seen.add(oid)
                 chosen.append(oid)
+        if len(chosen) < self.actions:
+            for oid in range(self.db_size):
+                if oid not in seen:
+                    seen.add(oid)
+                    chosen.append(oid)
+                    if len(chosen) == self.actions:
+                        break
         return chosen

@@ -50,7 +50,7 @@ def _partial_config(strategy: str, **overrides) -> ExperimentConfig:
 # --------------------------------------------------------------------- #
 
 
-def test_each_node_materialises_only_its_shard():
+def test_each_node_holds_only_its_shard():
     spec = SystemSpec(
         num_nodes=5, db_size=60,
         placement=HashShardPlacement(replication_factor=3),
@@ -60,14 +60,29 @@ def test_each_node_materialises_only_its_shard():
     for node in system.nodes:
         resident = set(node.store.oids())
         expected = set(system.placement.objects_at(node.node_id))
-        assert resident == expected
-        assert len(node.store) < 60  # strictly less than db_size
-        total += len(node.store)
+        assert resident == expected  # logical residency == the placement
+        assert len(resident) < 60  # strictly less than db_size
+        # lazy default: nothing is materialised until a transaction touches it
+        assert node.store.materialized == 0
+        total += len(resident)
     assert total == 3 * 60  # k copies of every object, nothing else
     for oid in range(60):
         for node_id in range(5):
             held = oid in system.nodes[node_id].store
             assert held == system.placement.is_replica(oid, node_id)
+
+
+def test_eager_stores_flag_restores_upfront_materialisation():
+    spec = SystemSpec(
+        num_nodes=5, db_size=60,
+        placement=HashShardPlacement(replication_factor=3),
+        eager_stores=True,
+    )
+    system = LazyGroupSystem(spec)
+    total = sum(node.store.materialized for node in system.nodes)
+    assert total == 3 * 60  # every resident record allocated up front
+    for node in system.nodes:
+        assert node.store.materialized == len(set(node.store.oids()))
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)

@@ -290,6 +290,102 @@ class TestSimPathParity:
         assert mobile.notices == []
 
 
+class TestNoticeWait:
+    """Regression: the reply's notice wait must survive delivery jitter.
+
+    The old code slept exactly one ``message_delay`` and popped once; a
+    notice landing any later was mis-reported as ``noticed: false`` *and*
+    left behind in ``mobile.notices`` forever.  The fix polls against
+    ``notice_timeout`` and evicts late arrivals of abandoned waits.
+    """
+
+    @staticmethod
+    def _drive(gateway, spawn):
+        """Spawn engine processes and run the wall-clock engine dry."""
+        async def main():
+            procs = spawn()
+            futures = [gateway.engine.wait_process(p) for p in procs]
+            await gateway.engine.run_async()
+            return [future.result() for future in futures]
+
+        return asyncio.run(main())
+
+    def test_notice_later_than_one_delay_is_still_noticed(self):
+        gateway = ServiceGateway(GatewayConfig(
+            db_size=50, message_delay=0.005, notice_timeout=0.5
+        ))
+        mobile_id = gateway._mobile_ids[0]
+        mobile = gateway.system.mobiles[mobile_id]
+
+        def late_notice():
+            # 6x the nominal delay: the single-sleep code missed this
+            yield gateway.engine.timeout(0.03)
+            mobile.record_notice(7, TentativeStatus.ACCEPTED, "")
+
+        def spawn():
+            gateway.engine.process(late_notice(), name="late-notice")
+            return [gateway.engine.process(
+                gateway._await_notice(mobile_id, mobile, 7), name="wait"
+            )]
+
+        [notice] = self._drive(gateway, spawn)
+        assert notice == (7, TentativeStatus.ACCEPTED, "")
+        assert mobile.notices == []
+        assert gateway._stale_notices.get(mobile_id, {}) == {}
+
+    def test_abandoned_notice_is_evicted_when_it_arrives_late(self):
+        gateway = ServiceGateway(GatewayConfig(
+            db_size=50, message_delay=0.002, notice_timeout=0.02
+        ))
+        mobile_id = gateway._mobile_ids[0]
+        mobile = gateway.system.mobiles[mobile_id]
+
+        def spawn_timeout():
+            return [gateway.engine.process(
+                gateway._await_notice(mobile_id, mobile, 9), name="wait-9"
+            )]
+
+        [notice] = self._drive(gateway, spawn_timeout)
+        assert notice is None  # gave up at the deadline
+        assert 9 in gateway._stale_notices[mobile_id]
+
+        # the abandoned notice finally lands — plus a fresh one that a
+        # later transaction is actively waiting for
+        mobile.record_notice(9, TentativeStatus.ACCEPTED, "")
+        mobile.record_notice(10, TentativeStatus.REJECTED, "no")
+
+        def spawn_fresh():
+            return [gateway.engine.process(
+                gateway._await_notice(mobile_id, mobile, 10), name="wait-10"
+            )]
+
+        [notice] = self._drive(gateway, spawn_fresh)
+        assert notice == (10, TentativeStatus.REJECTED, "no")
+        # the stale seq-9 arrival was swept, not leaked
+        assert mobile.notices == []
+        assert 9 not in gateway._stale_notices[mobile_id]
+
+    def test_noticed_true_end_to_end_with_nonzero_delay(self, tmp_path):
+        config = GatewayConfig(
+            db_size=50, initial_value=100, message_delay=0.01
+        )
+
+        async def scenario(gateway, path):
+            client = await Client.connect(path)
+            reply = await client.txn([["inc", 1, 2]])
+            await client.close()
+            return gateway, reply
+
+        gateway, reply = with_gateway(config)(scenario, tmp_path)
+        assert reply["status"] == "accepted"
+        assert reply["noticed"] is True
+        # nothing left behind on the mobile's notice list
+        assert all(
+            mobile.notices == []
+            for mobile in gateway.system.mobiles.values()
+        )
+
+
 class TestConfigValidation:
     def test_rejects_zero_mobiles(self):
         with pytest.raises(ValueError):

@@ -96,6 +96,22 @@ class TestLatencyHistogram:
         assert clone.max == hist.max
         assert clone.percentile(50) == hist.percentile(50)
 
+    def test_from_dict_rejects_foreign_bucket_layout(self):
+        """Regression: silently adopting counts serialized under a
+        different base/growth would mis-bucket every sample on merge."""
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        payload = hist.to_dict()
+        for key, bad in (("base_seconds", 1e-5), ("growth", 1.1)):
+            broken = dict(payload)
+            broken[key] = bad
+            with pytest.raises(ValueError, match="layout mismatch"):
+                LatencyHistogram.from_dict(broken)
+        # payloads predating the layout fields assume the current layout
+        legacy = {k: v for k, v in payload.items()
+                  if k not in ("base_seconds", "growth")}
+        assert LatencyHistogram.from_dict(legacy).count == 1
+
 
 class TestWireCodec:
     def test_ops_round_trip(self):
@@ -190,6 +206,23 @@ class TestZipf:
         for _ in range(200):
             oids = profile.choose_oids(rng)
             assert len(oids) == len(set(oids)) == 5
+
+    def test_choose_oids_is_bounded_under_extreme_skew(self):
+        """Regression: with ``actions`` near ``db_size`` under strong skew
+        the unbounded rejection loop could spin pathologically re-drawing
+        the same hot ranks; the attempt budget plus hottest-first fill must
+        always return promptly with distinct in-range ids."""
+        profile = ZipfProfile(actions=50, db_size=50, theta=0.99)
+        rng = random.Random(5)
+        for _ in range(50):
+            oids = profile.choose_oids(rng)
+            # demanding the whole database yields exactly a permutation
+            assert sorted(oids) == list(range(50))
+        near_full = ZipfProfile(actions=45, db_size=50, theta=0.99)
+        for _ in range(50):
+            oids = near_full.choose_oids(rng)
+            assert len(oids) == len(set(oids)) == 45
+            assert all(0 <= oid < 50 for oid in oids)
 
 
 class TestLoadtestConfig:
