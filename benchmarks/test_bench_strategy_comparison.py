@@ -6,11 +6,14 @@ reconciliations. Lazy-master replication has slightly better behavior than
 eager-master replication... The solution appears to be ... a two-tier
 replication scheme."
 
-One table, all five strategies, same Table-2 parameters: who waits, who
-deadlocks, who reconciles, who rejects, who diverges.
+One table, every registered strategy, same Table-2 parameters: who waits,
+who deadlocks, who reconciles, who rejects, who cert-aborts, who diverges.
+The strategy list derives from ``STRATEGY_CLASSES``, so the two
+certification strategies (deferred-update, scar) ride the same grid as
+the paper's five.
 
-The five runs go through the campaign runner's worker pool (each strategy
-is one grid cell); every run is a deterministic function of its
+The runs go through the campaign runner's worker pool (each strategy is
+one grid cell); every run is a deterministic function of its
 configuration, so the parallel results match a serial execution exactly.
 """
 
@@ -33,11 +36,17 @@ def test_bench_strategy_comparison(benchmark):
     print()
     print(strategy_table(results))
 
+    from repro.harness.experiment import STRATEGIES
+
+    assert set(results) == set(STRATEGIES)
+
     eager_group = results["eager-group"]
     eager_master = results["eager-master"]
     lazy_group = results["lazy-group"]
     lazy_master = results["lazy-master"]
     two_tier = results["two-tier"]
+    deferred = results["deferred-update"]
+    scar = results["scar"]
 
     # serializable strategies never reconcile
     for r in (eager_group, eager_master, lazy_master):
@@ -57,6 +66,17 @@ def test_bench_strategy_comparison(benchmark):
     assert two_tier.metrics.reconciliations == 0
     assert two_tier.extra["base_divergence"] == 0
     assert two_tier.divergence == 0
+
+    # the certification strategies convert conflicts into cert aborts:
+    # deferred-update executes lock-free (single-lock replica installs
+    # cannot cycle, so zero deadlocks); scar only locks at masters during
+    # its short validation window, keeping it in the lazy-master regime
+    assert deferred.metrics.deadlocks == 0
+    assert deferred.metrics.as_dict().get("cert_aborts", 0) > 0
+    assert scar.metrics.deadlocks <= eager_group.metrics.deadlocks
+    assert scar.metrics.as_dict().get("cert_aborts", 0) > 0
+    for r in (deferred, scar):
+        assert r.metrics.reconciliations == 0
 
     # everybody converged after drain (the strategies are all convergent
     # under their own rules at this load)

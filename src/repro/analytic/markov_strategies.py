@@ -12,6 +12,13 @@ message delay):
 * **lazy-group** — ``running -> propagating -> reconciling``: the origin
   transaction commits locally, its updates propagate asynchronously, and a
   collision during the propagation window becomes a reconciliation.
+* **deferred-update / scar** — ``running -> certifying -> restarting``:
+  execution is coordination-free, so nothing ever waits on a user lock;
+  a conflicting commit landing inside the transaction's exposure window
+  surfaces at the decision point as a clean certification abort.  One
+  conflicting pair suffices (no "two waits" escalation), so the danger
+  rate follows the *quadratic* birthday law — the cube-law escape the
+  certification strategies exist to demonstrate.
 
 The per-transition hazards come from the paper's own conflict probabilities
 (equations 2/9/11 and their partial-replication analogues), so in the
@@ -43,22 +50,27 @@ from repro.analytic.markov import MarkovChain, stationary_distribution
 from repro.analytic.parameters import ModelParameters
 from repro.exceptions import ConfigurationError
 
-#: strategies with a Markov chain model (all five of the paper's taxonomy)
+#: strategies with a Markov chain model (the paper's five plus the two
+#: certification-based strategies)
 MARKOV_STRATEGIES: Tuple[str, ...] = (
+    "deferred-update",
     "eager-group",
     "eager-master",
     "lazy-group",
     "lazy-master",
+    "scar",
     "two-tier",
 )
 
 #: the danger rate each strategy's chain predicts, mirroring the campaign
 #: layer's ANALYTIC_REFERENCE so the two model tracks stay comparable
 MARKOV_REFERENCE: Dict[str, Tuple[str, str]] = {
+    "deferred-update": ("abort_rate", "cert aborts/s (markov)"),
     "eager-group": ("deadlock_rate", "deadlocks/s (markov)"),
     "eager-master": ("deadlock_rate", "deadlocks/s (markov)"),
     "lazy-group": ("reconciliation_rate", "reconciliations/s (markov)"),
     "lazy-master": ("deadlock_rate", "deadlocks/s (markov)"),
+    "scar": ("abort_rate", "validation aborts/s (markov)"),
     "two-tier": ("deadlock_rate", "base deadlocks/s (markov)"),
 }
 
@@ -110,6 +122,7 @@ class MarkovPrediction:
     deadlock_rate: float  # deadlock aborts/s system-wide
     wait_rate: float  # lock waits/s system-wide
     reconciliation_rate: float  # reconciliations/s system-wide
+    abort_rate: float  # user-transaction aborts/s (deadlock + certification)
 
     def occupancy(self) -> Dict[str, float]:
         """``{state: stationary probability}``."""
@@ -123,6 +136,7 @@ class MarkovPrediction:
                 "deadlock_rate": self.deadlock_rate,
                 "wait_rate": self.wait_rate,
                 "reconciliation_rate": self.reconciliation_rate,
+                "abort_rate": self.abort_rate,
             }[name]
         except KeyError:
             raise ConfigurationError(
@@ -318,6 +332,90 @@ def _lazy_group_chain(
     )
 
 
+def _certification_chain(
+    strategy: str,
+    p: ModelParameters,
+    run_duration: float,
+    decision_window: float,
+    congestion: float,
+) -> StrategyChain:
+    """The certification-strategy chain: running -> certifying -> restarting.
+
+    Execution is coordination-free (no user locks), so there is no waiting
+    state at all.  The transaction's footprint is *exposed* from its first
+    read until the decision point — ``run_duration + decision_window`` —
+    and a conflicting commit landing anywhere in that span surfaces at
+    certification as a clean abort.  The conflict arithmetic is the same
+    birthday construction as equation 2's PW (pool x Actions^2 / 2 x
+    DB_Size), but it stops there: one conflicting pair is enough, no
+    second wait, no ``PD = PW^2`` escalation.  Hence aborts/s grow as
+    ``pool x arrivals ~ N^2`` — the quadratic law the cube-law-escape
+    experiment measures (EXPERIMENTS.md).
+
+    The aborted transaction resubmits after a restart residence of half a
+    lifetime, mirroring the lock chain's victim bookkeeping.
+    """
+    duration = max(run_duration, _EPS)
+    window = max(decision_window, _EPS)
+    exposure = duration + window
+    pool = congestion * p.tps * p.nodes * exposure
+    pw, _ = _conflict_probabilities(pool, p.actions, p.db_size)
+    abort_probability = min(pw, 1.0)
+    restart_time = duration / 2.0
+    chain = MarkovChain.from_transitions(
+        ("running", "certifying", "restarting"),
+        {
+            ("running", "certifying"): 1.0 / duration,
+            ("certifying", "running"): (1.0 - abort_probability) / window,
+            ("certifying", "restarting"): abort_probability / window,
+            ("restarting", "running"): 1.0 / restart_time,
+        },
+    )
+    return StrategyChain(
+        strategy=strategy,
+        chain=chain,
+        exits=(
+            ("commit", "certifying", (1.0 - abort_probability) / window),
+            ("abort", "restarting", 1.0 / restart_time),
+        ),
+        events=(),
+        exposure_states=("running", "certifying"),
+        base_exposure=exposure,
+        congestion=congestion,
+    )
+
+
+def _deferred_update_chain(
+    p: ModelParameters, k: Optional[int], congestion: float
+) -> StrategyChain:
+    """Deferred update: local execution, one certifier round trip.
+
+    The decision window covers the request/decision round plus the
+    replication lag of the apply stream — a replica can serve a read that
+    is stale by one in-flight apply, which widens the footprint's
+    vulnerability exactly like an extra message delay.
+    """
+    duration = p.actions * p.action_time
+    window = 2.0 * p.message_delay + p.actions * p.action_time
+    return _certification_chain(
+        "deferred-update", p, duration, window, congestion
+    )
+
+
+def _scar_chain(
+    p: ModelParameters, k: Optional[int], congestion: float
+) -> StrategyChain:
+    """SCAR: local execution, master lock round + validation + install.
+
+    The decision window is the master RPC round plus the install residence
+    at the masters (``Actions x Action_Time`` again — ``execute_install``
+    pays the action time per write).
+    """
+    duration = p.actions * p.action_time
+    window = 2.0 * p.message_delay + p.actions * p.action_time
+    return _certification_chain("scar", p, duration, window, congestion)
+
+
 def build_chain(
     strategy: str,
     p: ModelParameters,
@@ -335,6 +433,10 @@ def build_chain(
         return _lazy_group_chain(p, k, congestion)
     if strategy in ("lazy-master", "two-tier"):
         return _master_chain(strategy, p, congestion)
+    if strategy == "deferred-update":
+        return _deferred_update_chain(p, k, congestion)
+    if strategy == "scar":
+        return _scar_chain(p, k, congestion)
     raise ConfigurationError(
         f"no markov chain for strategy {strategy!r}; "
         f"expected one of {MARKOV_STRATEGIES}"
@@ -388,7 +490,8 @@ def predict(
             pi = stationary_distribution(sc.chain)
     sojourn = _sojourn(sc, pi)
 
-    exit_rates = {"commit": 0.0, "deadlock": 0.0, "reconcile": 0.0}
+    exit_rates = {"commit": 0.0, "deadlock": 0.0, "reconcile": 0.0,
+                  "abort": 0.0}
     total_flux = sum(
         pi[sc.chain.index(state)] * rate for _, state, rate in sc.exits
     )
@@ -417,6 +520,9 @@ def predict(
         deadlock_rate=exit_rates["deadlock"],
         wait_rate=event_rates.get("wait", 0.0),
         reconciliation_rate=exit_rates["reconcile"],
+        # every deadlock victim is also an abort; certification chains add
+        # their clean decision-point aborts on top
+        abort_rate=exit_rates["deadlock"] + exit_rates["abort"],
     )
 
 

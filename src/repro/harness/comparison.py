@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analytic.parameters import ModelParameters
 from repro.harness.experiment import (
+    STRATEGIES,
     ExperimentConfig,
     ExperimentResult,
     run_experiment,
@@ -85,13 +86,7 @@ def comparison_table(rows: Sequence[ComparisonRow], x_label: str,
 
 def strategy_comparison(
     params: ModelParameters,
-    strategies: Sequence[str] = (
-        "eager-group",
-        "eager-master",
-        "lazy-group",
-        "lazy-master",
-        "two-tier",
-    ),
+    strategies: Optional[Sequence[str]] = None,
     duration: float = 100.0,
     seed: int = 0,
     commutative: bool = False,
@@ -101,6 +96,10 @@ def strategy_comparison(
     """Run every strategy at identical load — the section 8 summary,
     quantified.  Returns strategy -> result.
 
+    ``strategies`` defaults to the whole registry
+    (:data:`~repro.harness.experiment.STRATEGIES`), so newly registered
+    strategies join the scorecard automatically.
+
     Runs through the campaign runner: ``jobs`` worker processes fan the
     strategies out (0 = inline), ``cache_dir`` enables the content-hash
     result cache.  Results are identical either way — each run is a
@@ -109,7 +108,7 @@ def strategy_comparison(
     from repro.harness.campaign import Campaign, run_campaign
 
     campaign = Campaign(
-        strategies=tuple(strategies),
+        strategies=tuple(strategies) if strategies is not None else STRATEGIES,
         base_params=params,
         seeds=(seed,),
         duration=duration,

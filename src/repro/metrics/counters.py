@@ -33,7 +33,13 @@ class Metrics:
     #: ``extra`` names the simulator itself uses; the whitelist strict mode
     #: checks ad-hoc bumps against.
     KNOWN_EXTRAS: ClassVar[FrozenSet[str]] = frozenset(
-        {"rejected_node_down", "crashes", "recoveries", "migrations"}
+        {
+            "rejected_node_down", "crashes", "recoveries", "migrations",
+            # certification/validation aborts (deferred-update, scar): a
+            # transaction whose read/write set went stale before the
+            # decision point — aborted cleanly, never a lost update
+            "cert_aborts",
+        }
     )
     #: declared counter field names, cached so :meth:`bump` is a frozenset
     #: membership test plus one attribute store (filled in after the class

@@ -5,9 +5,12 @@ A :class:`ReplicatedSystem` owns the engine, the network, the metrics, a
 waits-for cycles span nodes), and one :class:`NodeContext` per node — the
 node's store, lock manager, WAL, Lamport clock, and transaction manager.
 
-Concrete strategies implement ``_run(origin, ops, label)`` as a generator:
-the full life of one user transaction, from ``begin`` to commit/abort plus
-whatever propagation the strategy prescribes.
+Concrete strategies describe the full life of one user transaction — from
+``begin`` to commit/abort plus whatever propagation the strategy
+prescribes — as a **commit-protocol pipeline**: a ``PHASES`` tuple naming
+the phases (admission, execute, certify, commit, propagate) plus one
+``_phase_<name>`` method per entry (see :mod:`repro.replication.pipeline`).
+The base class's ``_run`` drives the composition.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.metrics.counters import Metrics
 from repro.network.message import Message
 from repro.network.network import Network
 from repro.placement import FullReplication, Placement
+from repro.replication.pipeline import TxnContext
 from repro.sim.engine import Engine
 from repro.sim.process import Process
 from repro.sim.protocol import EngineProtocol
@@ -199,6 +203,10 @@ class ReplicatedSystem:
     """
 
     name = "abstract"
+    #: the strategy's commit-protocol pipeline: phase names, in order; each
+    #: entry ``p`` is backed by a ``_phase_<p>`` method (see
+    #: :mod:`repro.replication.pipeline`)
+    PHASES: tuple = ()
     #: strategy policy when ``spec.retry_deadlocks`` is None — two-tier
     #: bases retry ("resubmitted and reprocessed until [they succeed]"),
     #: every other strategy surfaces deadlocks as failed transactions
@@ -252,6 +260,9 @@ class ReplicatedSystem:
         # transaction, so the f-string was measurable at high TPS
         self._txn_proc_names: Dict[int, str] = {}
         self._rejected_proc_names: Dict[int, str] = {}
+        # bound phase methods, resolved lazily on the first transaction so
+        # subclass __init__ state (ownership maps, quorum configs) exists
+        self._pipeline: Optional[List[Callable]] = None
         self.placement_spec = (
             spec.placement if spec.placement is not None else FullReplication()
         )
@@ -501,9 +512,33 @@ class ReplicatedSystem:
             yield self.engine.timeout(backoff)
 
     def _run(self, origin: int, ops: List[Operation], label: str):
-        """One attempt at the transaction.  Implemented by strategies."""
-        raise NotImplementedError
-        yield  # pragma: no cover
+        """One attempt at the transaction: drive the phase pipeline.
+
+        Each ``PHASES`` entry resolves to a ``_phase_<name>`` method, which
+        is either a plain function (instantaneous bookkeeping) or a
+        generator (anything that waits); the driver adds *no* engine
+        interaction of its own, so a composition is byte-for-byte the
+        inlined lifecycle it replaced.  A phase setting ``ctx.finished``
+        short-circuits the rest (admission failure, deadlock, certification
+        abort).
+        """
+        pipeline = self._pipeline
+        if pipeline is None:
+            pipeline = self._pipeline = [
+                getattr(self, f"_phase_{name}") for name in self.PHASES
+            ]
+            if not pipeline:
+                raise NotImplementedError(
+                    f"{type(self).__name__} declares no PHASES"
+                )
+        ctx = TxnContext(origin=origin, ops=ops, label=label)
+        for phase in pipeline:
+            step = phase(ctx)
+            if step is not None:
+                yield from step
+            if ctx.finished:
+                break
+        return ctx.txn
 
     def handle_message(self, node: NodeContext, msg: Message):
         """Process an incoming network message at ``node``.
@@ -622,6 +657,14 @@ class ReplicatedSystem:
                 f"{len(self.nodes)} nodes"
             )
         record = self.nodes[src].store.read(oid)
+        value, ts = record.value, record.ts
+        # an in-flight transaction may have written the record without
+        # committing yet; ship the committed before-image from its WAL
+        # entry so an abort (or a crash at src) cannot leak the tentative
+        # value to the destination
+        pending = self.nodes[src].wal.pending_before(oid)
+        if pending is not None:
+            value, ts = pending
         self.placement.move(oid, src, dst)
         # master strategies snapshot oid -> owner at construction; rebind
         # the moved entry so writes keep routing to a node that holds a
@@ -630,7 +673,7 @@ class ReplicatedSystem:
         if ownership is not None and ownership.get(oid) == src:
             ownership[oid] = self.placement.master(oid)
         self.network.send(
-            src, dst, "record-transfer", (oid, record.value, record.ts)
+            src, dst, "record-transfer", (oid, value, ts)
         )
         self.nodes[src].store.evict(oid)
         self.metrics.bump("migrations")

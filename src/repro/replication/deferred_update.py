@@ -1,0 +1,294 @@
+"""Deferred update replication: execute locally, certify, then apply.
+
+*Parallel Deferred Update Replication* (Pacheco, Sciascia & Pedone; see
+PAPERS.md): a transaction executes **lock-free** at its origin against
+committed replica state, buffering its writes and recording the version of
+everything it observed.  At commit time the read/write set is broadcast —
+here through a sequencer/certifier node that defines the total order — and
+**certified**: if any observed version has been superseded by a
+concurrently certified transaction, the transaction aborts (first
+committer wins); otherwise its write-set is applied at every replica.
+
+Two properties make this the first post-1996 strategy in the zoo:
+
+* **no user-transaction locking** — conflicts cost a clean certification
+  abort instead of a distributed deadlock, so the danger rate escapes the
+  cube law (a certification abort needs only *two* overlapping
+  transactions, like lazy-group's reconciliations, but unlike those it
+  never loses an update);
+* **read-only transactions skip certification** entirely and commit after
+  one local round — the PDUR fast path.
+
+The certifier assigns each certified write a timestamp from its own
+Lamport clock, so write timestamps are globally monotone in certification
+order and replicas converge under duplication/reordering through the same
+stale-suppression test lazy-master uses.  Certification itself is
+modelled as instantaneous at message delivery (the parallel-certification
+result: independent transactions certify concurrently, so the certifier
+adds latency but no serial bottleneck residence).
+
+The commit-protocol pipeline: ``execute -> certify -> commit``, with the
+apply leg running as housekeeping transactions at each replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import DeadlockAbort, ReplicationError
+from repro.network.message import Message
+from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
+from repro.replication.pipeline import TxnContext
+from repro.storage.lock_manager import LockMode
+from repro.storage.versioning import Timestamp
+
+
+class DeferredUpdateSystem(ReplicatedSystem):
+    """Deferred update replication with parallel certification.
+
+    Args:
+        certifier: node hosting the certification service (default 0).
+            Requests and decisions travel the normal network path, so the
+            certifier inherits every fault the plan throws at its node —
+            crash parks certification until recovery, partition stalls it
+            until heal.
+    """
+
+    name = "deferred-update"
+    PHASES = ("execute", "certify", "commit")
+
+    def __init__(self, *args, certifier: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0 <= certifier < self.num_nodes:
+            raise ReplicationError(
+                f"certifier node {certifier} outside the system's "
+                f"{self.num_nodes} nodes"
+            )
+        self.certifier_id = certifier
+        #: the certifier's version table: oid -> last certified write ts.
+        #: An absent entry means "still at its initial version", which any
+        #: observed genesis timestamp trivially matches.
+        self._cert_versions: Dict[int, Timestamp] = {}
+        #: origin-side decision events, keyed by txn id
+        self._decisions: Dict[int, object] = {}
+        self.certified = 0
+        self.replica_updates_dropped = 0
+
+    def _register_probes(self, telemetry) -> None:
+        super()._register_probes(telemetry)
+        telemetry.counter_rate(
+            "cert_abort_rate",
+            lambda: self.metrics.extra.get("cert_aborts", 0),
+        )
+        telemetry.counter_rate(
+            "replica_update_rate", lambda: self.metrics.replica_updates
+        )
+
+    # ------------------------------------------------------------------ #
+    # pipeline phases (the origin transaction)
+    # ------------------------------------------------------------------ #
+
+    def _phase_execute(self, ctx: TxnContext):
+        """Lock-free local execution against committed replica state."""
+        origin = ctx.origin
+        node = self.nodes[origin]
+        txn = ctx.txn = node.tm.begin(label=ctx.label)
+        reads: List[Tuple[int, Timestamp]] = []
+        writes: List[Tuple[int, Timestamp, object, object]] = []
+        try:
+            for op in ctx.ops:
+                if self._node_holds(op.oid, origin):
+                    site = node
+                else:
+                    # non-resident object: read the master replica's
+                    # committed state (one RPC round, same cost model as
+                    # lazy-group)
+                    site = self.nodes[self.placement.master(op.oid)]
+                    if self.network.message_delay > 0:
+                        yield self.engine.timeout(self.network.message_delay)
+                record = site.store.read(op.oid)
+                if op.is_read:
+                    txn.record_read(record.value)
+                    if self.history is not None:
+                        self.history.record_read(
+                            site.node_id, txn.txn_id, op.oid
+                        )
+                    reads.append((op.oid, record.ts))
+                    continue
+                # the compute cost of the action is paid here; the install
+                # cost is paid at apply time by every replica, like any
+                # lazy stream
+                if self.action_time > 0:
+                    yield self.engine.timeout(self.action_time)
+                if op.reads_state and self.history is not None:
+                    self.history.record_read(site.node_id, txn.txn_id, op.oid)
+                writes.append((op.oid, record.ts, op.apply(record.value), op))
+        except DeadlockAbort as exc:  # CrashAbort: origin died mid-run;
+            # lock-free execution holds nothing, so the undo set is empty
+            self._abort_everywhere(txn, [], reason=exc.reason)
+            ctx.finished = True
+            return
+        ctx.scratch["reads"] = reads
+        ctx.scratch["writes"] = writes
+
+    def _phase_certify(self, ctx: TxnContext):
+        """Ship the read/write set to the certifier and await its verdict."""
+        txn = ctx.txn
+        writes = ctx.scratch["writes"]
+        if not writes:
+            # the PDUR read-only fast path: nothing to certify, commit now
+            return
+        event = self.engine.event("du-decision")
+        self._decisions[txn.txn_id] = event
+        self.network.send(
+            ctx.origin,
+            self.certifier_id,
+            "cert-request",
+            (ctx.origin, txn.txn_id, tuple(ctx.scratch["reads"]),
+             tuple(writes)),
+        )
+        try:
+            committed = yield event
+        except DeadlockAbort as exc:  # CrashAbort: origin died waiting
+            self._decisions.pop(txn.txn_id, None)
+            self._abort_everywhere(txn, [], reason=exc.reason)
+            ctx.finished = True
+            return
+        if not committed:
+            self.metrics.bump("cert_aborts")
+            self._abort_everywhere(txn, [], reason="certification")
+            ctx.finished = True
+
+    def _phase_commit(self, ctx: TxnContext) -> None:
+        # the origin held no locks and wrote no WAL entries; its own store
+        # converges through the same du-apply stream as everyone else's
+        self._commit_everywhere(ctx.txn, [self.nodes[ctx.origin]])
+
+    # ------------------------------------------------------------------ #
+    # certification service + replica application
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, node: NodeContext, msg: Message):
+        if msg.kind == "cert-request":
+            self._certify(node, msg.payload)
+            return None
+        if msg.kind == "du-decision":
+            txn_id, ok = msg.payload
+            event = self._decisions.pop(txn_id, None)
+            if event is not None and event.pending:
+                event.succeed(ok)
+            return None
+        if msg.kind == "du-apply":
+            updates, attempt = msg.payload
+            return self._apply_updates(node, updates, attempt)
+        raise ReplicationError(f"deferred-update got unexpected {msg.kind}")
+
+    def _certify(self, node: NodeContext, payload) -> None:
+        """Validate one read/write set against the version table.
+
+        Runs atomically at message delivery: certification of one
+        transaction is a table scan over its footprint, and independent
+        transactions interleave freely between deliveries — the
+        "parallel certification" property.
+        """
+        origin, txn_id, reads, writes = payload
+        table = self._cert_versions
+        ok = True
+        for oid, observed_ts in reads:
+            current = table.get(oid)
+            if current is not None and current != observed_ts:
+                ok = False
+                break
+        if ok:
+            for oid, observed_ts, _value, _op in writes:
+                current = table.get(oid)
+                if current is not None and current != observed_ts:
+                    ok = False
+                    break
+        if not ok:
+            self._trace("cert-abort", txn=txn_id, origin=origin)
+            self.network.send(
+                node.node_id, origin, "du-decision", (txn_id, False)
+            )
+            return
+        # certified: stamp each write from the certifier's clock, so
+        # timestamps are monotone in certification order and the replicas'
+        # stale-suppression test survives duplication and reordering
+        updates = []
+        for oid, observed_ts, value, op in writes:
+            new_ts = node.clock.tick()
+            table[oid] = new_ts
+            updates.append(
+                ReplicaUpdate(
+                    oid=oid, old_ts=observed_ts, new_ts=new_ts,
+                    new_value=value, op=op, root_txn_id=txn_id,
+                )
+            )
+        self.certified += 1
+        self._trace("certify", txn=txn_id, writes=len(updates))
+        self.network.send(node.node_id, origin, "du-decision", (txn_id, True))
+        self._fan_out(node.node_id, updates)
+
+    def _fan_out(self, certifier: int, updates: List[ReplicaUpdate]) -> None:
+        """Send each certified write to every replica holding its object."""
+        placement = self.placement
+        if placement.is_full:
+            for node_id in range(self.num_nodes):
+                self.network.send(
+                    certifier, node_id, "du-apply", (updates, 0)
+                )
+            return
+        extra_holders = range(placement.num_nodes, self.num_nodes)
+        needed_by_node: Dict[int, List[ReplicaUpdate]] = {}
+        for u in updates:
+            holders = placement.replicas(u.oid)
+            for node_id in (
+                holders if not extra_holders
+                else list(holders) + list(extra_holders)
+            ):
+                needed_by_node.setdefault(node_id, []).append(u)
+        for node_id in sorted(needed_by_node):
+            self.network.send(
+                certifier, node_id, "du-apply", (needed_by_node[node_id], 0)
+            )
+
+    def _apply_updates(
+        self, node: NodeContext, updates: List[ReplicaUpdate], attempt: int
+    ):
+        """Install certified writes as a housekeeping transaction."""
+        txn = node.tm.begin(label="du-apply")
+        try:
+            for update in updates:
+                if not self.placement.is_full and not self._node_holds(
+                    update.oid, node.node_id
+                ):
+                    # migrated away while the apply was in flight
+                    continue
+                event = node.locks.acquire(txn, update.oid, LockMode.EXCLUSIVE)
+                if event is not None:
+                    yield event
+                    txn.require_active()
+                local = node.store.read(update.oid)
+                if local.ts >= update.new_ts:
+                    if local.ts != update.new_ts:
+                        self.metrics.stale_updates += 1
+                    continue  # duplicate or reordered delivery
+                yield from node.tm.execute_install(
+                    txn, update.oid, update.new_value, update.new_ts,
+                    root_txn_id=(
+                        update.root_txn_id if update.root_txn_id >= 0 else None
+                    ),
+                )
+                self.metrics.actions += 1
+            node.tm.commit(txn)
+            self.metrics.replica_updates += 1
+        except DeadlockAbort as exc:
+            node.tm.abort(txn, reason=exc.reason)
+            if attempt < self.max_retries:
+                self.metrics.restarts += 1
+                self.network.send(
+                    node.node_id, node.node_id, "du-apply",
+                    (updates, attempt + 1),
+                )
+            else:
+                self.replica_updates_dropped += 1

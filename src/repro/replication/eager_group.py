@@ -20,6 +20,7 @@ from typing import List, Sequence
 from repro.exceptions import DeadlockAbort, MasterUnavailableError
 from repro.network.message import Message
 from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
+from repro.replication.pipeline import TxnContext
 from repro.replication.quorum import QuorumConfig
 from repro.txn.ops import Operation
 from repro.txn.transaction import Transaction
@@ -38,6 +39,9 @@ class EagerGroupSystem(ReplicatedSystem):
     """
 
     name = "eager-group"
+    #: synchronous writes everywhere, locking as certification; quorum
+    #: catch-up is the only post-commit propagation
+    PHASES = ("admission", "execute", "commit", "propagate")
 
     def __init__(self, *args, quorum: bool = False,
                  parallel_updates: bool = False, **kwargs):
@@ -48,27 +52,32 @@ class EagerGroupSystem(ReplicatedSystem):
         self.blocked_by_disconnect = 0
 
     # ------------------------------------------------------------------ #
-    # transaction execution
+    # transaction execution (the pipeline phases)
     # ------------------------------------------------------------------ #
 
-    def _run(self, origin: int, ops: List[Operation], label: str):
-        participants = self._participants(origin, ops)
+    def _phase_admission(self, ctx: TxnContext) -> None:
+        participants = self._participants(ctx.origin, ctx.ops)
         if participants is None:
             # cannot form a quorum (or, without quorums, somebody is down)
             self.blocked_by_disconnect += 1
-            txn = self.nodes[origin].tm.begin(label=label)
-            self._abort_everywhere(txn, [], reason="no-quorum")
-            return txn
-
-        txn = self.nodes[origin].tm.begin(label=label)
+            ctx.txn = self.nodes[ctx.origin].tm.begin(label=ctx.label)
+            self._abort_everywhere(ctx.txn, [], reason="no-quorum")
+            ctx.finished = True
+            return
+        ctx.scratch["participants"] = participants
+        ctx.txn = self.nodes[ctx.origin].tm.begin(label=ctx.label)
         # the origin is always in the release set: serializable reads take
         # shared locks there even when the transaction writes elsewhere
-        touched: List[NodeContext] = [self.nodes[origin]]
+        ctx.touched = [self.nodes[ctx.origin]]
+
+    def _phase_execute(self, ctx: TxnContext):
+        origin, txn, touched = ctx.origin, ctx.txn, ctx.touched
+        participants = ctx.scratch["participants"]
         is_full = self.placement.is_full
         if not is_full:
             participant_ids = {node.node_id for node in participants}
         try:
-            for op in ops:
+            for op in ctx.ops:
                 if op.is_read:
                     yield from self._read_site(origin, op.oid).tm.execute(
                         txn, op
@@ -103,10 +112,13 @@ class EagerGroupSystem(ReplicatedSystem):
                         self.metrics.actions += 1
         except DeadlockAbort as exc:
             self._abort_everywhere(txn, touched, reason=exc.reason)
-            return txn
-        self._commit_everywhere(txn, touched)
-        self._send_catchup(origin, txn, participants)
-        return txn
+            ctx.finished = True
+
+    def _phase_commit(self, ctx: TxnContext) -> None:
+        self._commit_everywhere(ctx.txn, ctx.touched)
+
+    def _phase_propagate(self, ctx: TxnContext) -> None:
+        self._send_catchup(ctx.origin, ctx.txn, ctx.scratch["participants"])
 
     def _read_site(self, origin: int, oid: int) -> NodeContext:
         """Committed-read site: the origin when it holds a replica of the

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import DeadlockAbort, MasterUnavailableError
 from repro.replication.base import NodeContext, ReplicatedSystem
+from repro.replication.pipeline import TxnContext
 from repro.txn.ops import Operation
 
 
@@ -41,6 +42,8 @@ class EagerMasterSystem(ReplicatedSystem):
     """
 
     name = "eager-master"
+    #: master-first locking *is* the certification; no post-commit traffic
+    PHASES = ("admission", "execute", "commit")
 
     def __init__(self, *args, ownership: Optional[Dict[int, int]] = None, **kwargs):
         super().__init__(*args, **kwargs)
@@ -82,18 +85,21 @@ class EagerMasterSystem(ReplicatedSystem):
     # transaction execution
     # ------------------------------------------------------------------ #
 
-    def _run(self, origin: int, ops: List[Operation], label: str):
-        if not self._all_masters_reachable(origin, ops):
-            txn = self.nodes[origin].tm.begin(label=label)
-            self._abort_everywhere(txn, [], reason="master-unreachable")
-            return txn
-
-        txn = self.nodes[origin].tm.begin(label=label)
+    def _phase_admission(self, ctx: TxnContext) -> None:
+        if not self._all_masters_reachable(ctx.origin, ctx.ops):
+            ctx.txn = self.nodes[ctx.origin].tm.begin(label=ctx.label)
+            self._abort_everywhere(ctx.txn, [], reason="master-unreachable")
+            ctx.finished = True
+            return
+        ctx.txn = self.nodes[ctx.origin].tm.begin(label=ctx.label)
         # the origin is always in the release set: serializable reads take
         # shared locks there even when the transaction writes elsewhere
-        touched: List[NodeContext] = [self.nodes[origin]]
+        ctx.touched = [self.nodes[ctx.origin]]
+
+    def _phase_execute(self, ctx: TxnContext):
+        origin, txn, touched = ctx.origin, ctx.txn, ctx.touched
         try:
-            for op in ops:
+            for op in ctx.ops:
                 if op.is_read:
                     site = (
                         self.nodes[origin]
@@ -118,9 +124,10 @@ class EagerMasterSystem(ReplicatedSystem):
                     self.metrics.actions += 1
         except DeadlockAbort as exc:
             self._abort_everywhere(txn, touched, reason=exc.reason)
-            return txn
-        self._commit_everywhere(txn, touched)
-        return txn
+            ctx.finished = True
+
+    def _phase_commit(self, ctx: TxnContext) -> None:
+        self._commit_everywhere(ctx.txn, ctx.touched)
 
     def _replica_nodes(self, oid: int) -> List[NodeContext]:
         """The nodes holding ``oid``, in node-id order."""

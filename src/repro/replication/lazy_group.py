@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 from repro.exceptions import DeadlockAbort, ReplicationError
 from repro.network.message import Message
 from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
+from repro.replication.pipeline import TxnContext
 from repro.replication.reconciliation import (
     Outcome,
     ReconciliationRule,
@@ -37,6 +38,10 @@ class LazyGroupSystem(ReplicatedSystem):
     """Update-anywhere lazy replication (Table 1: lazy / group)."""
 
     name = "lazy-group"
+    #: local execution, local commit, asynchronous propagation; conflicts
+    #: are certified *after the fact* by the Figure 4 timestamp test at
+    #: each receiving replica, not by a pre-commit phase
+    PHASES = ("execute", "commit", "propagate")
 
     def __init__(
         self,
@@ -65,18 +70,19 @@ class LazyGroupSystem(ReplicatedSystem):
     # root transaction
     # ------------------------------------------------------------------ #
 
-    def _run(self, origin: int, ops: List[Operation], label: str):
+    def _phase_execute(self, ctx: TxnContext):
+        origin = ctx.origin
         node = self.nodes[origin]
-        txn = node.tm.begin(label=label)
+        txn = ctx.txn = node.tm.begin(label=ctx.label)
         # the origin is always in the release set; under a partial
         # placement ops on non-resident objects execute at the object's
         # master replica, which then joins the set
-        touched: List[NodeContext] = [node]
+        touched = ctx.touched = [node]
         try:
             if self.placement.is_full:
-                yield from self._execute_local(node, txn, ops)
+                yield from self._execute_local(node, txn, ctx.ops)
             else:
-                for op in ops:
+                for op in ctx.ops:
                     if self._node_holds(op.oid, origin):
                         site = node
                     else:
@@ -93,16 +99,21 @@ class LazyGroupSystem(ReplicatedSystem):
                     if not op.is_read:
                         self.metrics.actions += 1
         except DeadlockAbort as exc:
+            # local-only undo, in site order (predates _abort_everywhere's
+            # mark-first ordering; kept verbatim — goldens pin the traces)
             for site in touched:
                 site.tm.finish_abort_local(txn)
             txn.mark_aborted(self.engine.now, reason=exc.reason)
             self.metrics.aborts += 1
             self._trace("abort", txn=txn.txn_id, reason=exc.reason,
                         node=txn.origin_node, start=txn.start_time)
-            return txn
-        self._commit_everywhere(txn, touched)
-        self._propagate(origin, txn)
-        return txn
+            ctx.finished = True
+
+    def _phase_commit(self, ctx: TxnContext) -> None:
+        self._commit_everywhere(ctx.txn, ctx.touched)
+
+    def _phase_propagate(self, ctx: TxnContext) -> None:
+        self._propagate(ctx.origin, ctx.txn)
 
     def _propagate(self, origin: int, txn) -> None:
         """One lazy replica-update transaction per remote node (Figure 1).

@@ -21,6 +21,7 @@ from repro.exceptions import DeadlockAbort, MasterUnavailableError, ReplicationE
 from repro.network.message import Message
 from repro.replication.base import NodeContext, ReplicatedSystem, ReplicaUpdate
 from repro.replication.eager_master import round_robin_ownership
+from repro.replication.pipeline import TxnContext
 from repro.storage.lock_manager import LockMode
 from repro.txn.ops import Operation
 
@@ -46,6 +47,9 @@ class LazyMasterSystem(ReplicatedSystem):
     """
 
     name = "lazy-master"
+    #: execute against master copies, commit, then lazy slave streams;
+    #: stale suppression at the slaves plays the certification role
+    PHASES = ("admission", "execute", "commit", "propagate")
 
     def __init__(
         self,
@@ -91,22 +95,27 @@ class LazyMasterSystem(ReplicatedSystem):
     # root (master) transaction
     # ------------------------------------------------------------------ #
 
-    def _run(self, origin: int, ops: List[Operation], label: str):
+    def _phase_admission(self, ctx: TxnContext) -> None:
         masters_needed = {
-            self.ownership[op.oid] for op in ops if not op.is_read
+            self.ownership[op.oid] for op in ctx.ops if not op.is_read
         }
         if self.require_connected_masters and not self._reachable(
-            origin, masters_needed
+            ctx.origin, masters_needed
         ):
             self.blocked_by_disconnect += 1
-            txn = self.nodes[origin].tm.begin(label=label)
-            self._abort_everywhere(txn, [], reason="master-unreachable")
-            return txn
+            ctx.txn = self.nodes[ctx.origin].tm.begin(label=ctx.label)
+            self._abort_everywhere(ctx.txn, [], reason="master-unreachable")
+            ctx.finished = True
+            return
+        ctx.txn = self.nodes[ctx.origin].tm.begin(label=ctx.label)
+        # unlike the group strategies the release set starts empty: a
+        # committed-read origin that masters nothing holds nothing
+        ctx.touched = []
 
-        txn = self.nodes[origin].tm.begin(label=label)
-        involved: List[NodeContext] = []
+    def _phase_execute(self, ctx: TxnContext):
+        origin, txn, involved = ctx.origin, ctx.txn, ctx.touched
         try:
-            for op in ops:
+            for op in ctx.ops:
                 master = self.master_of(op.oid)
                 if op.is_read:
                     # committed-read at the local replica unless read locks
@@ -136,10 +145,13 @@ class LazyMasterSystem(ReplicatedSystem):
                 self.metrics.actions += 1
         except DeadlockAbort as exc:
             self._abort_everywhere(txn, involved, reason=exc.reason)
-            return txn
-        self._commit_everywhere(txn, involved)
-        self._propagate_to_slaves(origin, txn)
-        return txn
+            ctx.finished = True
+
+    def _phase_commit(self, ctx: TxnContext) -> None:
+        self._commit_everywhere(ctx.txn, ctx.touched)
+
+    def _phase_propagate(self, ctx: TxnContext) -> None:
+        self._propagate_to_slaves(ctx.origin, ctx.txn)
 
     def _reachable(self, origin: int, masters: set) -> bool:
         if not self.network.is_connected(origin):

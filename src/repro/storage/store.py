@@ -141,7 +141,17 @@ class ObjectStore:
         return record
 
     def restore(self, oid: int, value: Any, ts: Timestamp) -> None:
-        """Undo hook used by the WAL: reinstate an earlier version."""
+        """Undo hook used by the WAL: reinstate an earlier version.
+
+        A no-op when the object is no longer resident here: it migrated
+        away while the writing transaction was in flight, so the
+        authoritative copy travelled to the new holder and reinstating a
+        local version would resurrect a replica the directory no longer
+        routes to (and crash the undo with a ``KeyError`` on a lazy
+        store whose residency predicate already excludes the object).
+        """
+        if oid not in self:
+            return
         record = self.read(oid)
         record.value = value
         record.ts = ts

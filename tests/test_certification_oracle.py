@@ -1,0 +1,103 @@
+"""Certification aborts through the oracle's eyes.
+
+A certification abort (deferred-update) or validation abort (SCAR) is the
+protocol *refusing* a transaction, not losing it: the rejected delta must
+appear nowhere, every accepted delta must appear everywhere, and the
+post-run oracle must still judge the system healthy.  Distinct power-of-two
+deltas make the accepted set readable off the final value — any leaked
+aborted delta would set a bit the committed set cannot explain.
+"""
+
+import pytest
+
+from repro.faults.oracle import evaluate
+from repro.replication import DeferredUpdateSystem, ScarSystem, SystemSpec
+from repro.txn.ops import IncrementOp, ReadOp
+
+SYSTEMS = [DeferredUpdateSystem, ScarSystem]
+
+
+def _make(cls, **overrides):
+    kwargs = dict(
+        num_nodes=3, db_size=20, action_time=0.01, message_delay=0.05,
+        seed=1,
+    )
+    kwargs.update(overrides)
+    return cls(SystemSpec(**kwargs))
+
+
+def _contended_increments(system, oid=5):
+    """Race one increment per node on the same object; return the procs.
+
+    All transactions observe the initial version, so at most one can
+    certify — the rest are certification casualties by construction.
+    """
+    return [
+        system.submit(origin, [IncrementOp(oid, 2 ** origin)])
+        for origin in range(system.num_nodes)
+    ]
+
+
+@pytest.mark.parametrize("cls", SYSTEMS, ids=lambda c: c.name)
+def test_cert_abort_is_a_refusal_not_a_lost_update(cls):
+    oid = 5
+    system = _make(cls)
+    procs = _contended_increments(system, oid)
+    system.run()
+    txns = [p.value for p in procs]
+    committed = [t for t in txns if t.state.value == "committed"]
+    aborted = [t for t in txns if t.state.value == "aborted"]
+    cert_aborts = system.metrics.as_dict().get("cert_aborts", 0)
+    assert cert_aborts >= 1, "contended increments must collide at certification"
+    assert len(committed) >= 1, "one of the racers must win"
+    assert len(committed) + len(aborted) == len(txns)
+    # accepted-set sum reconciles at every replica; a leaked aborted delta
+    # would set a bit outside the committed mask
+    accepted = sum(2 ** t.origin_node for t in committed)
+    for node in system.nodes:
+        assert node.store.peek(oid) == accepted
+    for txn in aborted:
+        assert not accepted & (2 ** txn.origin_node)
+
+
+@pytest.mark.parametrize("cls", SYSTEMS, ids=lambda c: c.name)
+def test_cert_aborts_keep_the_oracle_green(cls):
+    system = _make(cls)
+    _contended_increments(system)
+    system.run()
+    verdict = evaluate(system)
+    assert verdict.expected_convergence
+    assert verdict.ok, verdict.describe()
+    # cert aborts are aborts: the danger counters must fold them in
+    assert system.metrics.as_dict().get("cert_aborts", 0) >= 1
+    assert system.metrics.aborts >= system.metrics.as_dict()["cert_aborts"]
+    assert system.metrics.commits + system.metrics.aborts == system.num_nodes
+
+
+@pytest.mark.parametrize("cls", SYSTEMS, ids=lambda c: c.name)
+def test_read_only_transactions_skip_certification(cls):
+    system = _make(cls)
+    procs = [
+        system.submit(origin, [ReadOp(3), ReadOp(7)])
+        for origin in range(system.num_nodes)
+    ]
+    system.run()
+    assert all(p.value.state.value == "committed" for p in procs)
+    assert system.metrics.as_dict().get("cert_aborts", 0) == 0
+    assert evaluate(system).ok
+
+
+@pytest.mark.parametrize("cls", SYSTEMS, ids=lambda c: c.name)
+def test_uncontended_increments_all_certify(cls):
+    system = _make(cls)
+    procs = [
+        system.submit(origin, [IncrementOp(origin, 1)])
+        for origin in range(system.num_nodes)
+    ]
+    system.run()
+    assert all(p.value.state.value == "committed" for p in procs)
+    assert system.metrics.as_dict().get("cert_aborts", 0) == 0
+    for origin in range(system.num_nodes):
+        for node in system.nodes:
+            assert node.store.peek(origin) == 1
+    assert evaluate(system).ok

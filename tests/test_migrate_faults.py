@@ -1,0 +1,147 @@
+"""Live migration under faults.
+
+``ReplicatedSystem.migrate`` moves a replica through the normal network
+path, so it composes with every fault the injector can throw: crashed
+endpoints must be rejected up front, a partitioned transfer parks in the
+store-and-forward queue until the cut heals, and — the regressions this
+file pins — a migration racing an in-flight writer must neither leak the
+writer's uncommitted value to the destination nor blow up the source's
+WAL undo when the writer later aborts or the source crashes.
+"""
+
+import pytest
+
+from repro.exceptions import InvalidStateError
+from repro.placement import Placement
+from repro.replication import LazyGroupSystem, SystemSpec
+from repro.storage.versioning import Timestamp
+from repro.txn.ops import WriteOp
+
+
+def _dir_system(**overrides):
+    kwargs = dict(
+        num_nodes=6,
+        db_size=60,
+        action_time=0.001,
+        message_delay=0.002,
+        seed=3,
+        placement=Placement.from_spec("dir:k=2"),
+    )
+    kwargs.update(overrides)
+    return LazyGroupSystem(SystemSpec(**kwargs))
+
+
+def _move_target(system, oid):
+    """(src, dst): a non-master replica and a node holding no copy."""
+    placement = system.placement
+    src = placement.replicas(oid)[1]
+    dst = next(
+        n for n in range(system.num_nodes)
+        if not placement.is_replica(oid, n)
+    )
+    return src, dst
+
+
+def test_migrate_rejects_a_crashed_source():
+    system = _dir_system()
+    oid = 5
+    src, dst = _move_target(system, oid)
+    system.crash_node(src)
+    with pytest.raises(InvalidStateError):
+        system.migrate(oid, src, dst)
+    # nothing moved: the directory still routes to the old replica set
+    assert system.placement.replicas(oid)[1] == src
+    assert system.placement.moved == 0
+
+
+def test_migrate_rejects_a_crashed_destination():
+    system = _dir_system()
+    oid = 5
+    src, dst = _move_target(system, oid)
+    system.crash_node(dst)
+    with pytest.raises(InvalidStateError):
+        system.migrate(oid, src, dst)
+    assert system.placement.moved == 0
+    # after recovery the same move goes through cleanly
+    system.recover_node(dst)
+    system.migrate(oid, src, dst)
+    system.run()
+    assert oid not in system.nodes[src].store
+    assert system.divergence() == 0
+
+
+def test_partitioned_transfer_parks_until_the_cut_heals():
+    system = _dir_system()
+    oid = 7
+    master = system.placement.master(oid)
+    src, dst = _move_target(system, oid)
+    system.submit(master, [WriteOp(oid, 777)])
+    system.run()
+    system.network.set_reachable(src, dst, False)
+    system.migrate(oid, src, dst)
+    system.run()
+    # the transfer is parked on the cut; the directory already rebound,
+    # but the record has not landed yet
+    assert system.network.parked_total() > 0
+    assert oid not in system.nodes[src].store
+    assert oid not in system.nodes[dst].store._records
+    system.network.set_reachable(src, dst, True)
+    system.run()
+    assert system.nodes[dst].store.peek(oid) == 777
+    assert system.divergence() == 0
+
+
+def test_crash_at_source_after_migrating_an_uncommitted_write():
+    """The double regression: migrating an object an in-flight transaction
+    has written used to (a) ship the uncommitted value to the destination
+    and (b) KeyError inside the WAL undo when the source crashed, because
+    the evicted record was no longer resident.  The fix ships the WAL's
+    committed before-image and makes ``store.restore`` skip non-resident
+    objects."""
+    system = _dir_system()
+    oid = 9
+    src, dst = _move_target(system, oid)
+    other = next(
+        o for o in range(system.db_size)
+        if o != oid and system.placement.is_replica(o, src)
+    )
+    committed = system.nodes[src].store.peek(oid)
+    # first write (to oid) lands in the WAL at t=0.001; the transaction is
+    # still executing its second write when we migrate and crash
+    system.submit(src, [WriteOp(oid, 111), WriteOp(other, 222)])
+    system.run(until=0.0015)
+    assert system.nodes[src].wal.pending_before(oid) is not None
+    system.migrate(oid, src, dst)
+    system.crash_node(src)  # WAL undo must not touch the migrated object
+    system.run()
+    system.recover_node(src)
+    system.quiesce()
+    # the destination holds the committed version, not the leaked write
+    assert system.nodes[dst].store.peek(oid) == committed
+    assert oid not in system.nodes[src].store
+    assert system.divergence() == 0
+    assert system.metrics.as_dict()["migrations"] == 1
+
+
+def test_abort_after_migration_skips_the_evicted_record():
+    """Same race, abort path: the writer deadlocks/aborts after its object
+    migrated away — the undo must skip the non-resident record instead of
+    resurrecting (or KeyError-ing on) a copy the directory no longer
+    routes to."""
+    system = _dir_system()
+    oid = 11
+    src, dst = _move_target(system, oid)
+    # simulate the writer's WAL entry directly, then migrate and undo
+    before = system.nodes[src].store.read(oid)
+    before_value, before_ts = before.value, before.ts
+    system.nodes[src].wal.record(
+        999, oid, before_value, before_ts, 111, Timestamp(1, src)
+    )
+    system.nodes[src].store.write(oid, 111, Timestamp(1, src))
+    system.migrate(oid, src, dst)
+    undone = system.nodes[src].wal.undo(999, system.nodes[src].store)
+    assert undone == 1
+    assert oid not in system.nodes[src].store  # no zombie copy
+    system.run()
+    assert system.nodes[dst].store.peek(oid) == before_value
+    assert system.divergence() == 0
